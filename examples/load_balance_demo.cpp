@@ -1,0 +1,102 @@
+// Load-balance explorer: the paper's Fig. 2 argument, across shapes.
+//
+// For each non-rectangular shape, prints how many iterations each thread
+// receives under (a) outer-loop schedule(static) and (b) the collapsed
+// loop, plus the imbalance factor — the quantity the whole paper is
+// about.  Everything is computed analytically from the iteration domain
+// (no timing noise).
+//
+// Build & run:  ./examples/load_balance_demo [size] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nrcollapse.hpp"
+
+using namespace nrc;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  NestSpec nest;
+};
+
+std::vector<Shape> shapes() {
+  std::vector<Shape> ss;
+  {
+    NestSpec n;
+    n.param("N").loop("i", aff::c(0), aff::v("N") - 1).loop("j", aff::v("i") + 1,
+                                                            aff::v("N"));
+    ss.push_back({"triangular (correlation)", n});
+  }
+  {
+    NestSpec n;
+    n.param("N").loop("i", aff::c(0), aff::v("N")).loop("j", aff::c(0), aff::v("i") + 1);
+    ss.push_back({"lower-triangular (symm/ltmp)", n});
+  }
+  {
+    NestSpec n;
+    n.param("N")
+        .loop("i", aff::c(0), aff::v("N"))
+        .loop("j", aff::v("i"), 2 * aff::v("i") + aff::v("N"));
+    ss.push_back({"trapezoidal (skewed stencil)", n});
+  }
+  {
+    NestSpec n;
+    n.param("N")
+        .loop("i", aff::c(0), aff::v("N"))
+        .loop("j", aff::v("i"), aff::v("i") + aff::v("N"));
+    ss.push_back({"rhomboidal (balanced rows!)", n});
+  }
+  {
+    NestSpec n;
+    n.param("N")
+        .loop("i", aff::c(0), aff::v("N"))
+        .loop("j", aff::v("i"), aff::v("N"))
+        .loop("k", aff::v("j"), aff::v("N"));
+    ss.push_back({"tetrahedral", n});
+  }
+  return ss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const i64 size = argc > 1 ? std::atoll(argv[1]) : 600;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  std::printf("%-30s %16s %16s %14s\n", "shape", "outer-static", "collapsed",
+              "static is");
+  for (const auto& s : shapes()) {
+    const ParamMap p{{"N", size}};
+    const ThreadLoad outer = outer_static_load(s.nest, p, threads);
+    const i64 total = count_domain_brute(s.nest, p);
+    const ThreadLoad coll = collapsed_static_load(total, threads);
+    std::printf("%-30s %14.1f%% %14.1f%% %10.2fx slower\n", s.name,
+                100.0 * outer.imbalance(), 100.0 * coll.imbalance(),
+                (1.0 + outer.imbalance()) / (1.0 + coll.imbalance()));
+  }
+  std::printf(
+      "\nimbalance = max/mean - 1 over %d threads; the parallel makespan is\n"
+      "proportional to (1 + imbalance).  Note the rhomboid: its rows are\n"
+      "equal-length, so outer static is already balanced — collapsing helps\n"
+      "exactly when rows vary (triangles, trapezoids, tetrahedra).\n",
+      threads);
+
+  // The paper's Fig. 2, drawn: thread ownership of the correlation
+  // triangle under both assignments (small N so it fits a terminal).
+  NestSpec tri;
+  tri.param("N")
+      .loop("i", aff::c(0), aff::v("N") - 1)
+      .loop("j", aff::v("i") + 1, aff::v("N"));
+  viz::RenderOptions ropt;
+  ropt.threads = 5;
+  std::printf("\nouter schedule(static), 5 threads (paper Fig. 2):\n%s",
+              viz::render_domain(tri, {{"N", 24}}, viz::Assignment::OuterStatic, ropt)
+                  .c_str());
+  std::printf("\ncollapsed schedule(static), 5 threads:\n%s",
+              viz::render_domain(tri, {{"N", 24}}, viz::Assignment::CollapsedStatic, ropt)
+                  .c_str());
+  return 0;
+}

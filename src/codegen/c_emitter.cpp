@@ -1,0 +1,370 @@
+#include "codegen/c_emitter.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "symbolic/print_c.hpp"
+
+namespace nrc {
+namespace {
+
+/// Small indentation-aware source builder.
+struct CodeWriter {
+  std::string out;
+  int depth = 0;
+
+  void line(const std::string& s) {
+    if (s.empty()) {
+      out += "\n";
+      return;
+    }
+    for (int i = 0; i < depth; ++i) out += "  ";
+    out += s;
+    out += "\n";
+  }
+  void open(const std::string& s) {
+    line(s + " {");
+    ++depth;
+  }
+  void close(const std::string& tail = "") {
+    --depth;
+    line("}" + tail);
+  }
+};
+
+/// "double (*a)[N]" style parameter for an array declaration.
+std::string array_param(const ArrayDecl& a) {
+  if (a.dims.size() == 1) return a.elem + " *" + a.name;
+  std::string s = a.elem + " (*" + a.name + ")";
+  for (size_t d = 1; d < a.dims.size(); ++d) s += "[" + a.dims[d] + "]";
+  return s;
+}
+
+/// Cast expression turning a flat pointer into the VLA pointer type.
+std::string array_cast(const ArrayDecl& a) {
+  if (a.dims.size() == 1) return "";
+  std::string s = "(" + a.elem + " (*)";
+  for (size_t d = 1; d < a.dims.size(); ++d) s += "[" + a.dims[d] + "]";
+  return s + ")";
+}
+
+/// Product of all dimensions as a C expression (element count).
+std::string array_elems(const ArrayDecl& a) {
+  std::string s = "(long)(" + a.dims[0] + ")";
+  for (size_t d = 1; d < a.dims.size(); ++d) s += "*(long)(" + a.dims[d] + ")";
+  return s;
+}
+
+std::string signature(const NestProgram& prog, const std::string& suffix) {
+  std::string s = "static void " + prog.name + "_" + suffix + "(";
+  bool first = true;
+  for (const auto& p : prog.nest.params()) {
+    if (!first) s += ", ";
+    s += "long " + p;
+    first = false;
+  }
+  for (const auto& a : prog.arrays) {
+    if (!first) s += ", ";
+    s += array_param(a);
+    first = false;
+  }
+  if (first) s += "void";
+  return s + ")";
+}
+
+/// The loops of `prog.nest` below the collapsed sub-nest plus the body,
+/// emitted as ordinary nested for-loops.
+void emit_inner_loops_and_body(CodeWriter& w, const NestProgram& prog) {
+  const int c = prog.effective_collapse_depth();
+  int opened = 0;
+  for (int k = c; k < prog.nest.depth(); ++k) {
+    const Loop& l = prog.nest.at(k);
+    w.open("for (long " + l.var + " = " + l.lower.str() + "; " + l.var + " < " +
+           l.upper.str() + "; " + l.var + "++)");
+    ++opened;
+  }
+  std::istringstream body(prog.body);
+  std::string ln;
+  while (std::getline(body, ln)) w.line(ln);
+  for (int k = 0; k < opened; ++k) w.close();
+}
+
+/// Recovery statements for all collapsed indices at the current pc.
+///
+/// Each non-innermost index is recovered by the closed-form root (as in
+/// the paper's Figs 3/7) and then pinned by an exact integer-arithmetic
+/// correction against the ranking polynomial.  The paper's raw formulas
+/// floor a double, which misplaces the index when the root lands exactly
+/// on an integer and the FP value comes out a hair below it; the guard
+/// makes the generated code correct for every size at the cost of a few
+/// integer operations per recovery (recoveries already run only once per
+/// thread/chunk).
+void emit_recovery(CodeWriter& w, const NestProgram& prog, const Collapsed& col) {
+  const NestSpec& sub = col.nest();
+  const int c = sub.depth();
+  for (int k = 0; k + 1 < c; ++k) {
+    const LevelFormula& lf = col.levels()[static_cast<size_t>(k)];
+    if (lf.branch < 0)
+      throw SolveError("emit: level '" + sub.at(k).var +
+                       "' has no closed-form recovery (degree " +
+                       std::to_string(lf.degree) + ")");
+    CPrintOptions po;
+    po.complex_mode = lf.degree >= 3;
+    const std::string e = print_c(lf.root, po);
+    const std::string& var = sub.at(k).var;
+    if (po.complex_mode) {
+      w.line(var + " = (long)floor(creal(" + e + "));");
+    } else {
+      w.line(var + " = (long)floor(" + e + ");");
+    }
+    // Exact guard: clamp into the level's range, then correct against
+    // the integer-valued ranking polynomial (monotone in this index).
+    const std::string lb = "(" + sub.at(k).lower.str() + ")";
+    const std::string ub = "(" + sub.at(k).upper.str() + ")";
+    const Polynomial& Rk = col.ranking().prefix_rank[static_cast<size_t>(k)];
+    const Polynomial Rk_next =
+        Rk.substitute(var, Polynomial::variable(var) + Polynomial(1));
+    w.line("if (" + var + " < " + lb + ") " + var + " = " + lb + ";");
+    w.line("if (" + var + " > " + ub + " - 1) " + var + " = " + ub + " - 1;");
+    w.line("while (" + var + " > " + lb + " && " + print_poly_c(Rk, {}, true) +
+           " > pc) " + var + " -= 1;");
+    w.line("while (" + var + " < " + ub + " - 1 && " +
+           print_poly_c(Rk_next, {}, true) + " <= pc) " + var + " += 1;");
+  }
+  // Innermost collapsed index: linear, pure integer arithmetic:
+  //   i_last = lb + (pc - r(prefix, lb)).
+  const int kl = c - 1;
+  const Loop& last = sub.at(kl);
+  const Polynomial r_at_lb =
+      col.ranking().prefix_rank[static_cast<size_t>(kl)].substitute(last.var,
+                                                                    last.lower.to_poly());
+  w.line(last.var + " = (" + last.lower.str() + ") + (pc - " +
+         print_poly_c(r_at_lb, {}, /*integer_arith=*/true) + ");");
+  (void)prog;
+}
+
+/// Original-nest index incrementation (paper Fig. 4 / §V), cascading
+/// odometer over the collapsed indices.
+void emit_increment(CodeWriter& w, const Collapsed& col) {
+  const NestSpec& sub = col.nest();
+  const int c = sub.depth();
+  w.line("/* advance to the next iteration of the original nest */");
+  w.line(sub.at(c - 1).var + "++;");
+  // Cascade: if level k overflowed, bump level k-1, then reset level k.
+  for (int k = c - 1; k >= 1; --k) {
+    w.open("if (" + sub.at(k).var + " >= " + sub.at(k).upper.str() + ")");
+    w.line(sub.at(k - 1).var + "++;");
+  }
+  for (int k = 1; k <= c - 1; ++k) {
+    w.line(sub.at(k).var + " = " + sub.at(k).lower.str() + ";");
+    w.close();
+  }
+}
+
+bool needs_complex(const Collapsed& col) {
+  const int c = col.nest().depth();
+  for (int k = 0; k + 1 < c; ++k)
+    if (col.levels()[static_cast<size_t>(k)].degree >= 3) return true;
+  return false;
+}
+
+std::string private_clause(const Collapsed& col) {
+  std::string s;
+  for (const auto& v : col.nest().loop_vars()) {
+    if (!s.empty()) s += ", ";
+    s += v;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string emit_original_function(const NestProgram& prog) {
+  CodeWriter w;
+  w.open(signature(prog, "original"));
+  int opened = 1;
+  for (int k = 0; k < prog.effective_collapse_depth(); ++k) {
+    const Loop& l = prog.nest.at(k);
+    w.open("for (long " + l.var + " = " + l.lower.str() + "; " + l.var + " < " +
+           l.upper.str() + "; " + l.var + "++)");
+    ++opened;
+  }
+  emit_inner_loops_and_body(w, prog);
+  for (int k = 0; k < opened; ++k) w.close();
+  return w.out;
+}
+
+std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& col,
+                                    const EmitOptions& opt) {
+  CodeWriter w;
+  w.open(signature(prog, "collapsed"));
+  w.line("const long __nrc_total = " +
+         print_poly_c(col.ranking().total, {}, /*integer_arith=*/true) + ";");
+  {
+    std::string decl = "long ";
+    decl += private_clause(col);
+    w.line(decl + ";");
+  }
+
+  switch (opt.style) {
+    case RecoveryStyle::PerIteration: {
+      if (opt.parallel)
+        w.line("#pragma omp parallel for private(" + private_clause(col) + ") schedule(" +
+               opt.schedule + ")");
+      w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
+      emit_recovery(w, prog, col);
+      emit_inner_loops_and_body(w, prog);
+      w.close();
+      break;
+    }
+    case RecoveryStyle::PerThread: {
+      w.line("int __nrc_first = 1;");
+      if (opt.parallel)
+        w.line("#pragma omp parallel for firstprivate(__nrc_first) private(" +
+               private_clause(col) + ") schedule(" + opt.schedule + ")");
+      w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
+      w.open("if (__nrc_first)");
+      emit_recovery(w, prog, col);
+      w.line("__nrc_first = 0;");
+      w.close();
+      emit_inner_loops_and_body(w, prog);
+      emit_increment(w, col);
+      w.close();
+      break;
+    }
+    case RecoveryStyle::Chunked: {
+      if (opt.parallel)
+        w.line("#pragma omp parallel for private(" + private_clause(col) + ") schedule(" +
+               opt.schedule + ", " + std::to_string(opt.chunk) + ")");
+      w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
+      w.open("if ((pc - 1) % " + std::to_string(opt.chunk) + " == 0)");
+      emit_recovery(w, prog, col);
+      w.close();
+      emit_inner_loops_and_body(w, prog);
+      emit_increment(w, col);
+      w.close();
+      break;
+    }
+    case RecoveryStyle::SimdBlocks: {
+      // §VI-A: per thread, recover once; per block of `vlen` iterations,
+      // materialize the index tuples by incrementation and run the body
+      // under `omp simd` with the indices re-bound per lane.
+      const NestSpec& sub = col.nest();
+      const std::string vlen = std::to_string(opt.vlen);
+      w.line("int __nrc_first = 1;");
+      if (opt.parallel)
+        w.line("#pragma omp parallel for firstprivate(__nrc_first) private(" +
+               private_clause(col) + ") schedule(" + opt.schedule + ")");
+      w.open("for (long pc = 1; pc <= __nrc_total; pc += " + vlen + ")");
+      w.open("if (__nrc_first)");
+      emit_recovery(w, prog, col);
+      w.line("__nrc_first = 0;");
+      w.close();
+      for (const auto& v : sub.loop_vars()) w.line("long __nrc_T_" + v + "[" + vlen + "];");
+      w.line("const long __nrc_blk = (__nrc_total - pc + 1) < " + vlen +
+             " ? (__nrc_total - pc + 1) : " + vlen + ";");
+      w.open("for (long __v = 0; __v < __nrc_blk; __v++)");
+      for (const auto& v : sub.loop_vars()) w.line("__nrc_T_" + v + "[__v] = " + v + ";");
+      emit_increment(w, col);
+      w.close();
+      w.line("#pragma omp simd");
+      w.open("for (long __v = 0; __v < __nrc_blk; __v++)");
+      // Shadow the odometer state with the lane's tuple.
+      for (const auto& v : sub.loop_vars())
+        w.line("long " + v + " = __nrc_T_" + v + "[__v];");
+      emit_inner_loops_and_body(w, prog);
+      w.close();
+      w.close();
+      break;
+    }
+  }
+  w.close();
+  return w.out;
+}
+
+std::string emit_verification_program(const NestProgram& prog, const Collapsed& col,
+                                      const EmitOptions& opt) {
+  CodeWriter w;
+  w.line("/* Generated by nrcollapse: verification harness for '" + prog.name + "'.");
+  w.line(" * Runs the original and the collapsed nest on identical inputs and");
+  w.line(" * compares every output array.  Prints OK and exits 0 on success. */");
+  w.line("#include <stdio.h>");
+  w.line("#include <stdlib.h>");
+  w.line("#include <math.h>");
+  if (needs_complex(col)) w.line("#include <complex.h>");
+  w.line("#ifndef M_PI");
+  w.line("#define M_PI 3.14159265358979323846");
+  w.line("#endif");
+  w.line("");
+  w.out += emit_original_function(prog);
+  w.line("");
+  w.out += emit_collapsed_function(prog, col, opt);
+  w.line("");
+
+  w.open("static double *nrc_alloc_init(long n, unsigned seed)");
+  w.line("double *p = (double *)malloc(sizeof(double) * (size_t)n);");
+  w.line("unsigned s = seed;");
+  w.open("for (long q = 0; q < n; q++)");
+  w.line("s = s * 1664525u + 1013904223u;");
+  w.line("p[q] = (double)(s % 1000u) / 1000.0;");
+  w.close();
+  w.line("return p;");
+  w.close();
+  w.line("");
+
+  w.open("int main(int argc, char **argv)");
+  {
+    int argi = 1;
+    for (const auto& p : prog.nest.params()) {
+      w.line("long " + p + " = 32;");
+      w.line("if (argc > " + std::to_string(argi) + ") " + p + " = atol(argv[" +
+             std::to_string(argi) + "]);");
+      ++argi;
+    }
+  }
+  unsigned seed = 1;
+  for (const auto& a : prog.arrays) {
+    const std::string n = array_elems(a);
+    w.line("double *" + a.name + "_ref = nrc_alloc_init(" + n + ", " + std::to_string(seed) +
+           "u);");
+    w.line("double *" + a.name + "_col = nrc_alloc_init(" + n + ", " + std::to_string(seed) +
+           "u);");
+    ++seed;
+  }
+
+  auto call = [&](const std::string& suffix, const std::string& copy) {
+    std::string s = prog.name + "_" + suffix + "(";
+    bool first = true;
+    for (const auto& p : prog.nest.params()) {
+      if (!first) s += ", ";
+      s += p;
+      first = false;
+    }
+    for (const auto& a : prog.arrays) {
+      if (!first) s += ", ";
+      s += array_cast(a) + a.name + "_" + copy;
+      first = false;
+    }
+    return s + ");";
+  };
+  w.line(call("original", "ref"));
+  w.line(call("collapsed", "col"));
+
+  w.line("long bad = 0;");
+  for (const auto& a : prog.arrays) {
+    w.open("for (long q = 0; q < " + array_elems(a) + "; q++)");
+    w.line("double d = fabs(" + a.name + "_ref[q] - " + a.name + "_col[q]);");
+    w.line("if (d > 1e-9 * (fabs(" + a.name + "_ref[q]) + 1.0)) bad++;");
+    w.close();
+  }
+  w.open("if (bad)");
+  w.line("printf(\"MISMATCH: %ld elements differ\\n\", bad);");
+  w.line("return 1;");
+  w.close();
+  w.line("printf(\"OK\\n\");");
+  w.line("return 0;");
+  w.close();
+  return w.out;
+}
+
+}  // namespace nrc

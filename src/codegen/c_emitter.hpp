@@ -1,0 +1,55 @@
+#pragma once
+// C code emission: the back end of the source-to-source tool.
+//
+// Produces OpenMP C99 code in the styles shown in the paper:
+//   * PerIteration — Fig. 3: closed-form recovery at every iteration;
+//   * PerThread    — Fig. 4: firstprivate flag, one recovery per thread,
+//                    then original-nest index incrementation;
+//   * Chunked      — §V: schedule(static, CHUNK) with one recovery per
+//                    chunk.
+// Degree <= 2 recoveries use plain sqrt/floor (as Fig. 3); degree >= 3
+// use C99 complex csqrt/cpow/creal (as Fig. 7).
+//
+// emit_verification_program wraps the original and the collapsed
+// function in a main() that runs both on identical inputs and compares
+// every output array — the end-to-end artifact the integration tests
+// compile with the system C compiler and execute.
+
+#include <string>
+
+#include "codegen/dsl_parser.hpp"
+#include "core/collapse.hpp"
+
+namespace nrc {
+
+enum class RecoveryStyle {
+  PerIteration,  ///< Fig. 3: recovery at every iteration
+  PerThread,     ///< Fig. 4: one recovery per thread + incrementation
+  Chunked,       ///< §V: schedule(static, CHUNK), recovery per chunk
+  SimdBlocks,    ///< §VI-A: precompute vlength index tuples, omp simd body
+};
+
+struct EmitOptions {
+  RecoveryStyle style = RecoveryStyle::PerThread;
+  i64 chunk = 512;                 ///< Chunked style only
+  int vlen = 8;                    ///< SimdBlocks style only
+  bool parallel = true;            ///< emit the OpenMP pragma
+  std::string schedule = "static"; ///< OpenMP schedule kind
+};
+
+/// The original (non-collapsed) nest as a C function.
+std::string emit_original_function(const NestProgram& prog);
+
+/// The collapsed nest as a C function.  `col` must be the result of
+/// collapse(prog.collapsed_nest()).  Throws SolveError when a level
+/// lacks a closed-form recovery.
+std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& col,
+                                    const EmitOptions& opt = {});
+
+/// A complete, compilable C program: both functions plus a main() that
+/// initializes the arrays identically, runs both versions and compares
+/// the results ("OK" / exit 0 on success).
+std::string emit_verification_program(const NestProgram& prog, const Collapsed& col,
+                                      const EmitOptions& opt = {});
+
+}  // namespace nrc

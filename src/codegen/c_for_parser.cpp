@@ -1,0 +1,199 @@
+#include "codegen/c_for_parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  size_t at = 0;
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (at < s.size() && std::isspace(static_cast<unsigned char>(s[at]))) ++at;
+      if (at + 1 < s.size() && s[at] == '/' && s[at + 1] == '/') {
+        while (at < s.size() && s[at] != '\n') ++at;
+        continue;
+      }
+      if (at + 1 < s.size() && s[at] == '/' && s[at + 1] == '*') {
+        const size_t end = s.find("*/", at + 2);
+        if (end == std::string::npos) throw ParseError("unterminated /* comment");
+        at = end + 2;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool eat_keyword(const char* kw) {
+    skip_ws_and_comments();
+    const size_t n = std::strlen(kw);
+    if (s.compare(at, n, kw) != 0) return false;
+    const char next = at + n < s.size() ? s[at + n] : '\0';
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') return false;
+    at += n;
+    return true;
+  }
+
+  bool eat(char c) {
+    skip_ws_and_comments();
+    if (at < s.size() && s[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek_is(char c) {
+    skip_ws_and_comments();
+    return at < s.size() && s[at] == c;
+  }
+
+  std::string ident() {
+    skip_ws_and_comments();
+    const size_t start = at;
+    while (at < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[at])) || s[at] == '_'))
+      ++at;
+    if (at == start) throw ParseError("expected identifier at offset " + std::to_string(at));
+    return s.substr(start, at - start);
+  }
+
+  /// Text up to (not including) the next top-level occurrence of `stop`.
+  std::string until(char stop) {
+    skip_ws_and_comments();
+    int paren = 0;
+    const size_t start = at;
+    while (at < s.size()) {
+      const char c = s[at];
+      if (c == '(') ++paren;
+      if (c == ')') {
+        if (paren == 0 && stop == ')') break;
+        --paren;
+      }
+      if (c == stop && paren == 0) break;
+      ++at;
+    }
+    if (at >= s.size()) throw ParseError(std::string("expected '") + stop + "'");
+    return s.substr(start, at - start);
+  }
+};
+
+/// Strip an optional `#pragma omp ...` prefix; returns collapse(n) if given.
+int strip_pragma(Cursor& cur) {
+  cur.skip_ws_and_comments();
+  int collapse_n = 0;
+  while (cur.at < cur.s.size() && cur.s[cur.at] == '#') {
+    const size_t eol = cur.s.find('\n', cur.at);
+    const std::string line =
+        cur.s.substr(cur.at, eol == std::string::npos ? std::string::npos : eol - cur.at);
+    const size_t c = line.find("collapse");
+    if (c != std::string::npos) {
+      const size_t open = line.find('(', c);
+      if (open != std::string::npos) collapse_n = std::atoi(line.c_str() + open + 1);
+    }
+    cur.at = eol == std::string::npos ? cur.s.size() : eol + 1;
+    cur.skip_ws_and_comments();
+  }
+  return collapse_n;
+}
+
+}  // namespace
+
+NestProgram parse_c_for_nest(const std::string& source) {
+  Cursor cur{source};
+  NestProgram prog;
+  prog.name = "nest";
+  prog.collapse_depth = strip_pragma(cur);
+
+  std::set<std::string> loop_vars;
+  int depth = 0;
+  while (cur.eat_keyword("for")) {
+    ++depth;
+    if (!cur.eat('(')) throw ParseError("for: expected '('");
+    // init:  [type] VAR = AFFINE ;
+    cur.eat_keyword("long") || cur.eat_keyword("int") || cur.eat_keyword("size_t");
+    const std::string var = cur.ident();
+    if (!cur.eat('=')) throw ParseError("for: expected '=' in init of " + var);
+    const std::string lo_text = cur.until(';');
+    if (!cur.eat(';')) throw ParseError("for: expected ';' after init");
+    // cond:  VAR < AFFINE   or   VAR <= AFFINE
+    const std::string cond_var = cur.ident();
+    if (cond_var != var)
+      throw ParseError("for: condition tests '" + cond_var + "', expected '" + var + "'");
+    if (!cur.eat('<')) throw ParseError("for: only '<' / '<=' conditions are supported");
+    const bool inclusive = cur.eat('=');
+    const std::string hi_text = cur.until(';');
+    if (!cur.eat(';')) throw ParseError("for: expected ';' after condition");
+    // step:  VAR++ | ++VAR | VAR += 1 | VAR = VAR + 1
+    std::string step = cur.until(')');
+    if (!cur.eat(')')) throw ParseError("for: expected ')'");
+    auto strip_all_ws = [](std::string t) {
+      std::string r;
+      for (char ch : t)
+        if (!std::isspace(static_cast<unsigned char>(ch))) r += ch;
+      return r;
+    };
+    const std::string st = strip_all_ws(step);
+    if (st != var + "++" && st != "++" + var && st != var + "+=1" &&
+        st != var + "=" + var + "+1")
+      throw ParseError("for: unsupported step '" + step + "' (unit stride required)");
+
+    AffineExpr lo = parse_affine(lo_text);
+    AffineExpr hi = parse_affine(hi_text);
+    if (inclusive) hi += AffineExpr(1);
+    prog.nest.loop(var, lo, hi);
+    loop_vars.insert(var);
+  }
+  if (depth == 0) throw ParseError("no for-loop found");
+
+  // Body: either a brace block or a single statement up to the end.
+  cur.skip_ws_and_comments();
+  if (cur.peek_is('{')) {
+    const size_t open = cur.at;
+    int braces = 0;
+    size_t i = open;
+    for (; i < source.size(); ++i) {
+      if (source[i] == '{') ++braces;
+      if (source[i] == '}') {
+        --braces;
+        if (braces == 0) break;
+      }
+    }
+    if (braces != 0) throw ParseError("body: unbalanced braces");
+    // Strip the outermost braces and trailing/leading whitespace.
+    std::string body = source.substr(open + 1, i - open - 1);
+    size_t b = body.find_first_not_of(" \t\n\r");
+    size_t e = body.find_last_not_of(" \t\n\r");
+    prog.body = b == std::string::npos ? "" : body.substr(b, e - b + 1);
+  } else {
+    std::string body = source.substr(cur.at);
+    size_t e = body.find_last_not_of(" \t\n\r");
+    prog.body = e == std::string::npos ? "" : body.substr(0, e + 1);
+  }
+  if (prog.body.empty()) throw ParseError("empty loop body");
+
+  // Infer parameters: bound identifiers that are not loop variables.
+  std::set<std::string> params;
+  for (const auto& l : prog.nest.loops()) {
+    for (const auto* bound : {&l.lower, &l.upper}) {
+      for (const auto& v : bound->variables())
+        if (!loop_vars.count(v)) params.insert(v);
+    }
+  }
+  for (const auto& p : params) prog.nest.param(p);
+
+  if (prog.collapse_depth > prog.nest.depth())
+    throw ParseError("collapse(" + std::to_string(prog.collapse_depth) +
+                     ") exceeds nest depth " + std::to_string(prog.nest.depth()));
+  prog.nest.validate();
+  return prog;
+}
+
+}  // namespace nrc

@@ -1,0 +1,32 @@
+#pragma once
+// C for-loop front end.
+//
+// The paper's tool ingests C sources where non-rectangular nests are
+// annotated with the OpenMP collapse clause.  This module accepts that
+// surface syntax for the nest itself: a chain of restricted C for-loops
+//
+//   #pragma omp parallel for collapse(2) ...        (optional)
+//   for (i = 0; i < N - 1; i++)
+//     for (j = i + 1; j < N; j++) {
+//       ...body, carried through verbatim...
+//     }
+//
+// Loop headers must have the shape  for (VAR = AFFINE; VAR < AFFINE; VAR++)
+// (also accepted: `long VAR = ...`, `int VAR = ...`, `VAR <= AFFINE`
+// which is normalized to an exclusive bound, and `++VAR`).  Everything
+// after the last recognized header's opening brace is the body.
+//
+// Parameters are inferred: every identifier used in a bound that is not
+// a loop variable becomes a nest parameter.
+
+#include "codegen/dsl_parser.hpp"
+
+namespace nrc {
+
+/// Parse a C fragment into a NestProgram.  The collapse depth comes from
+/// a `collapse(n)` clause when present, else all parsed loops collapse.
+/// Array declarations are not inferred (fill NestProgram::arrays by hand
+/// when emitting a self-verifying program).  Throws ParseError.
+NestProgram parse_c_for_nest(const std::string& source);
+
+}  // namespace nrc

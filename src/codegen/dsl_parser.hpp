@@ -1,0 +1,65 @@
+#pragma once
+// Loop-nest DSL: the front end of the source-to-source tool.
+//
+// The paper's tool ingests C sources; a full C front end is out of scope
+// here, so the tool ingests an explicit nest description that captures
+// exactly the information the transformation needs (the Fig. 5 model plus
+// the body text, which is carried through verbatim):
+//
+//   # correlation kernel, paper Fig. 1
+//   name correlation
+//   params N
+//   array double a[N][N]
+//   array double b[N][N]
+//   array double c[N][N]
+//   loop i = 0 .. N-1        # upper bound exclusive
+//   loop j = i+1 .. N
+//   collapse 2
+//   body {
+//     for (long k = 0; k < N; k++)
+//       a[i][j] += b[k][i] * c[k][j];
+//     a[j][i] = a[i][j];
+//   }
+
+#include <string>
+#include <vector>
+
+#include "polyhedral/nest.hpp"
+
+namespace nrc {
+
+/// An array declaration carried through to generated code.
+struct ArrayDecl {
+  std::string elem;               ///< element type, e.g. "double"
+  std::string name;               ///< array identifier
+  std::vector<std::string> dims;  ///< dimension expressions, outermost first
+};
+
+/// A parsed nest program: the nest, how many outer loops to collapse,
+/// and the body text.
+struct NestProgram {
+  std::string name = "kernel";
+  NestSpec nest;
+  int collapse_depth = 0;  ///< 0 means "all loops"
+  std::vector<ArrayDecl> arrays;
+  std::string body;  ///< C statements; loop variables are in scope
+
+  /// The sub-nest being collapsed (outer collapse_depth loops).
+  NestSpec collapsed_nest() const;
+  int effective_collapse_depth() const;
+};
+
+/// Parse the DSL text; throws ParseError with line information.
+NestProgram parse_nest_program(const std::string& text);
+
+/// Parse a single affine expression such as "2*i - N + 1".
+/// Exposed for reuse and tests.
+AffineExpr parse_affine(const std::string& text);
+
+/// Render a nest program back into the DSL (the inverse of
+/// parse_nest_program up to whitespace).  Useful for tooling: the C
+/// front end's output can be saved as a .nest file, and every program
+/// round-trips parse -> render -> parse to the same nest.
+std::string render_nest_program(const NestProgram& prog);
+
+}  // namespace nrc

@@ -1,0 +1,284 @@
+#include "core/collapse.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "symbolic/print_c.hpp"
+
+namespace nrc {
+
+struct Collapsed::Impl {
+  RankingSystem rs;
+  std::vector<LevelFormula> levels;
+  std::vector<std::string> slots;
+  CollapseOptions opts;
+};
+
+const NestSpec& Collapsed::nest() const { return impl_->rs.nest; }
+const RankingSystem& Collapsed::ranking() const { return impl_->rs; }
+const std::vector<LevelFormula>& Collapsed::levels() const { return impl_->levels; }
+const std::vector<std::string>& Collapsed::slot_order() const { return impl_->slots; }
+
+bool Collapsed::fully_closed_form() const {
+  for (const auto& lf : impl_->levels)
+    if (lf.branch < 0) return false;
+  return true;
+}
+
+Collapsed collapse(const NestSpec& nest, const CollapseOptions& opts) {
+  auto impl = std::make_shared<Collapsed::Impl>();
+  impl->opts = opts;
+  impl->rs = build_ranking_system(nest);
+
+  const int c = nest.depth();
+  if (c > kMaxDepth)
+    throw SpecError("collapse: nest depth exceeds kMaxDepth = " + std::to_string(kMaxDepth));
+
+  impl->slots = nest.loop_vars();
+  for (const auto& p : nest.params()) impl->slots.push_back(p);
+  impl->slots.push_back(kPcVar);
+  if (impl->slots.size() > static_cast<size_t>(kMaxSlots))
+    throw SpecError("collapse: too many variables+parameters for the runtime fast path");
+
+  if (opts.build_closed_form) {
+    impl->levels = build_level_formulas(impl->rs, opts.max_closed_degree);
+    const ParamMap cal =
+        opts.calibration.empty() && !nest.params().empty() ? default_calibration(nest)
+                                                           : opts.calibration;
+    select_convenient_branches(impl->levels, impl->rs, cal, impl->slots);
+  } else {
+    // Degrees still need computing so describe() and codegen stay useful.
+    impl->levels = build_level_formulas(impl->rs, 0);
+  }
+
+  Collapsed col;
+  col.impl_ = std::move(impl);
+  return col;
+}
+
+std::string Collapsed::describe() const {
+  const RankingSystem& rs = impl_->rs;
+  std::string s;
+  s += "collapsed nest:\n" + rs.nest.str();
+  s += "ranking polynomial r = " + rs.rank.str() + "\n";
+  s += "trip count = " + rs.total.str() + "\n";
+  for (int k = 0; k < rs.nest.depth(); ++k) {
+    const LevelFormula& lf = impl_->levels[static_cast<size_t>(k)];
+    s += "level " + std::to_string(k) + " (" + rs.nest.at(k).var +
+         "): degree " + std::to_string(lf.degree);
+    if (lf.branch >= 0) {
+      s += ", branch " + std::to_string(lf.branch) + "\n    " + rs.nest.at(k).var +
+           " = floor(" + lf.root.str() + ")\n";
+    } else {
+      s += ", recovered by exact binary search\n";
+    }
+  }
+  return s;
+}
+
+CollapsedEval Collapsed::bind(const ParamMap& params) const {
+  const Impl& im = *impl_;
+  const NestSpec& spec = im.rs.nest;
+  const int c = spec.depth();
+
+  CollapsedEval ev;
+  ev.c_ = c;
+  ev.params_ = params;
+  ev.nslots_ = im.slots.size();
+  ev.pc_slot_ = im.slots.size() - 1;
+
+  for (const auto& p : spec.params())
+    if (!params.count(p)) throw SpecError("bind: missing parameter '" + p + "'");
+
+  ev.base_.fill(0);
+  for (size_t s = 0; s < im.slots.size(); ++s) {
+    auto it = params.find(im.slots[s]);
+    if (it != params.end()) ev.base_[s] = it->second;
+  }
+
+  // Fold parameters into the affine bounds; only loop-var slots remain.
+  auto fold = [&](const AffineExpr& a) {
+    CollapsedEval::Bound b;
+    b.cst = a.constant_term();
+    for (const auto& [v, co] : a.coefficients()) {
+      auto it = params.find(v);
+      if (it != params.end()) {
+        b.cst = checked_add_i64(b.cst, checked_mul_i64(co, it->second));
+        continue;
+      }
+      bool found = false;
+      for (int k = 0; k < c; ++k) {
+        if (spec.at(k).var == v) {
+          b.add_term(k, co);
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw SpecError("bind: unbound variable '" + v + "' in a loop bound");
+    }
+    return b;
+  };
+  for (int k = 0; k < c; ++k) {
+    ev.bounds_lo_.push_back(fold(spec.at(k).lower));
+    ev.bounds_hi_.push_back(fold(spec.at(k).upper));
+  }
+
+  for (int k = 0; k < c; ++k)
+    ev.prank_.emplace_back(im.rs.prefix_rank[static_cast<size_t>(k)], im.slots);
+
+  ev.closed_.resize(static_cast<size_t>(c));
+  for (int k = 0; k < c; ++k) {
+    const LevelFormula& lf = im.levels[static_cast<size_t>(k)];
+    if (lf.branch >= 0)
+      ev.closed_[static_cast<size_t>(k)] = CompiledExpr(lf.root, im.slots);
+  }
+
+  std::map<std::string, i64> pv(params.begin(), params.end());
+  ev.total_ = narrow_i64(im.rs.total.eval_i128(pv));
+  if (ev.total_ <= 0)
+    throw SpecError("bind: the iteration domain is empty for these parameters");
+  return ev;
+}
+
+i64 CollapsedEval::rank(std::span<const i64> idx) const {
+  std::array<i64, kMaxSlots> pt = base_;
+  for (int k = 0; k < c_; ++k) pt[static_cast<size_t>(k)] = idx[static_cast<size_t>(k)];
+  return narrow_i64(prank_[static_cast<size_t>(c_) - 1].eval_i128(
+      std::span<const i64>(pt.data(), nslots_)));
+}
+
+i64 CollapsedEval::search_level(int k, std::span<i64> pt, i64 pc) const {
+  const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
+  const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
+  const CompiledPoly& R = prank_[static_cast<size_t>(k)];
+  auto rank_at = [&](i64 t) {
+    pt[static_cast<size_t>(k)] = t;
+    return R.eval_i128(std::span<const i64>(pt.data(), nslots_));
+  };
+  i64 lo = lb;
+  i64 hi = ub - 1;
+  if (hi < lo || rank_at(lo) > pc)
+    throw SolveError("recover: pc outside the prefix subtree (corrupt state or bad pc)");
+  while (lo < hi) {
+    const i64 mid = lo + (hi - lo + 1) / 2;
+    if (rank_at(mid) <= pc) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  pt[static_cast<size_t>(k)] = lo;
+  return lo;
+}
+
+void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) const {
+  std::array<i64, kMaxSlots> pt = base_;
+  pt[pc_slot_] = pc;
+  std::span<i64> pts(pt.data(), nslots_);
+
+  for (int k = 0; k + 1 < c_; ++k) {
+    i64 val;
+    const CompiledExpr& ce = closed_[static_cast<size_t>(k)];
+    if (ce.empty()) {
+      val = search_level(k, pts, pc);
+      if (stats) ++stats->fallback;
+    } else {
+      const cld z = ce.eval(std::span<const i64>(pt.data(), nslots_));
+      if (!std::isfinite(z.real()) || !std::isfinite(z.imag())) {
+        val = search_level(k, pts, pc);
+        if (stats) ++stats->fallback;
+      } else {
+        const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
+        const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
+        i64 x = static_cast<i64>(std::floor(z.real() + 1e-9L));
+        if (x < lb) x = lb;
+        if (x > ub - 1) x = ub - 1;
+        // Exact integer correction: R_k(prefix, x) <= pc < R_k(prefix, x+1).
+        const CompiledPoly& R = prank_[static_cast<size_t>(k)];
+        auto rank_at = [&](i64 t) {
+          pt[static_cast<size_t>(k)] = t;
+          return R.eval_i128(std::span<const i64>(pt.data(), nslots_));
+        };
+        int steps = 0;
+        while (x > lb && rank_at(x) > pc && steps < kMaxCorrection) {
+          --x;
+          ++steps;
+        }
+        while (x < ub - 1 && rank_at(x + 1) <= pc && steps < kMaxCorrection) {
+          ++x;
+          ++steps;
+        }
+        if (steps >= kMaxCorrection) {
+          val = search_level(k, pts, pc);  // formula was badly off: exact fallback
+          if (stats) ++stats->fallback;
+        } else {
+          val = x;
+          if (stats) ++(steps > 0 ? stats->corrected : stats->closed_form);
+        }
+      }
+    }
+    pt[static_cast<size_t>(k)] = val;
+    idx[static_cast<size_t>(k)] = val;
+  }
+
+  // Innermost index is linear (unit slope):  i = lb + (pc - R(prefix, lb)).
+  const int kl = c_ - 1;
+  const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
+  pt[static_cast<size_t>(kl)] = lb;
+  const i64 r0 = narrow_i64(prank_[static_cast<size_t>(kl)].eval_i128(
+      std::span<const i64>(pt.data(), nslots_)));
+  idx[static_cast<size_t>(kl)] = lb + (pc - r0);
+}
+
+bool CollapsedEval::recover_closed_raw(i64 pc, std::span<i64> idx) const {
+  std::array<i64, kMaxSlots> pt = base_;
+  pt[pc_slot_] = pc;
+  for (int k = 0; k + 1 < c_; ++k) {
+    const CompiledExpr& ce = closed_[static_cast<size_t>(k)];
+    if (ce.empty()) return false;
+    const cld z = ce.eval(std::span<const i64>(pt.data(), nslots_));
+    if (!std::isfinite(z.real()) || !std::isfinite(z.imag())) return false;
+    const i64 x = static_cast<i64>(std::floor(z.real() + 1e-9L));
+    pt[static_cast<size_t>(k)] = x;
+    idx[static_cast<size_t>(k)] = x;
+  }
+  const int kl = c_ - 1;
+  const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
+  pt[static_cast<size_t>(kl)] = lb;
+  const i64 r0 = narrow_i64(prank_[static_cast<size_t>(kl)].eval_i128(
+      std::span<const i64>(pt.data(), nslots_)));
+  idx[static_cast<size_t>(kl)] = lb + (pc - r0);
+  return true;
+}
+
+void CollapsedEval::recover_search(i64 pc, std::span<i64> idx) const {
+  std::array<i64, kMaxSlots> pt = base_;
+  pt[pc_slot_] = pc;
+  std::span<i64> pts(pt.data(), nslots_);
+  for (int k = 0; k < c_; ++k) idx[static_cast<size_t>(k)] = search_level(k, pts, pc);
+}
+
+bool CollapsedEval::increment(std::span<i64> idx) const {
+  int k = c_ - 1;
+  ++idx[static_cast<size_t>(k)];
+  while (idx[static_cast<size_t>(k)] >= bounds_hi_[static_cast<size_t>(k)].eval(idx.data())) {
+    if (k == 0) return false;
+    --k;
+    ++idx[static_cast<size_t>(k)];
+  }
+  for (int q = k + 1; q < c_; ++q)
+    idx[static_cast<size_t>(q)] = bounds_lo_[static_cast<size_t>(q)].eval(idx.data());
+  return true;
+}
+
+void CollapsedEval::first(std::span<i64> idx) const {
+  for (int k = 0; k < c_; ++k)
+    idx[static_cast<size_t>(k)] = bounds_lo_[static_cast<size_t>(k)].eval(idx.data());
+}
+
+void CollapsedEval::last(std::span<i64> idx) const {
+  for (int k = 0; k < c_; ++k)
+    idx[static_cast<size_t>(k)] = bounds_hi_[static_cast<size_t>(k)].eval(idx.data()) - 1;
+}
+
+}  // namespace nrc

@@ -1,0 +1,182 @@
+#pragma once
+// The collapsing transformation: public entry point of the library.
+//
+// Usage:
+//   NestSpec nest;                                  // triangular example
+//   nest.param("N")
+//       .loop("i", aff::c(0), aff::v("N") - 1)
+//       .loop("j", aff::v("i") + 1, aff::v("N"));
+//   Collapsed col = collapse(nest);                 // symbolic, once
+//   CollapsedEval cn = col.bind({{"N", 5000}});     // per parameter set
+//   // cn.trip_count(), cn.recover(pc, idx), cn.increment(idx), ...
+//
+// `Collapsed` holds the symbolic artifacts (ranking polynomial, level
+// equations, convenient root formulas) and is what the code generator
+// consumes; `CollapsedEval` is the allocation-free runtime evaluator the
+// OpenMP execution schemes are built on.
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "core/unrank_closed.hpp"
+#include "polyhedral/domain.hpp"
+#include "symbolic/compile.hpp"
+
+namespace nrc {
+
+/// Hard limits of the runtime fast path (symbolic machinery is unbounded).
+inline constexpr int kMaxDepth = 12;
+inline constexpr int kMaxSlots = 40;
+
+struct CollapseOptions {
+  /// Build closed-form recoveries (paper §IV).  When false, recovery
+  /// always uses exact binary search.
+  bool build_closed_form = true;
+  /// Maximum level-equation degree inverted in closed form (paper limit: 4).
+  int max_closed_degree = 4;
+  /// Calibration parameters for convenient-branch selection; empty means
+  /// choose automatically (default_calibration).
+  ParamMap calibration;
+};
+
+class CollapsedEval;
+
+/// Symbolic result of collapsing a nest.  Immutable; cheap to copy
+/// (shared state).  Thread-safe for concurrent reads.
+class Collapsed {
+ public:
+  const NestSpec& nest() const;
+  const RankingSystem& ranking() const;
+
+  /// Per-level closed-form info (degree, coefficients, chosen branch,
+  /// symbolic root).  levels().size() == nest().depth().
+  const std::vector<LevelFormula>& levels() const;
+
+  /// True when every level has a usable closed-form recovery.
+  bool fully_closed_form() const;
+
+  /// Runtime slot layout: loop vars, then params, then "pc".
+  const std::vector<std::string>& slot_order() const;
+
+  /// Bind concrete parameter values, producing the runtime evaluator.
+  /// Throws SpecError if a parameter is missing or the domain is empty.
+  CollapsedEval bind(const ParamMap& params) const;
+
+  /// Human-readable report: ranking polynomial, trip count, per-level
+  /// recovery formulas.
+  std::string describe() const;
+
+ private:
+  friend Collapsed collapse(const NestSpec&, const CollapseOptions&);
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Collapse all loops of `nest` (the caller passes nest.outer(c) to
+/// collapse only the outermost c loops of a deeper nest).
+Collapsed collapse(const NestSpec& nest, const CollapseOptions& opts = {});
+
+/// Per-recovery observability counters (optional; pass to recover()).
+/// Plain integers: keep one instance per thread and merge.
+struct RecoveryStats {
+  i64 closed_form = 0;  ///< levels recovered by the root formula directly
+  i64 corrected = 0;    ///< levels where the integer guard moved the index
+  i64 fallback = 0;     ///< levels recovered by exact binary search
+  i64 levels() const { return closed_form + corrected + fallback; }
+  RecoveryStats& operator+=(const RecoveryStats& o) {
+    closed_form += o.closed_form;
+    corrected += o.corrected;
+    fallback += o.fallback;
+    return *this;
+  }
+};
+
+/// Allocation-free runtime evaluator bound to concrete parameters.
+/// All methods are const and thread-safe.
+class CollapsedEval {
+ public:
+  int depth() const { return c_; }
+  i64 trip_count() const { return total_; }
+  const ParamMap& params() const { return params_; }
+  bool has_closed_form(int level) const {
+    return !closed_[static_cast<size_t>(level)].empty();
+  }
+
+  /// Exact 1-based rank of an iteration tuple.
+  i64 rank(std::span<const i64> idx) const;
+
+  /// Recover the iteration tuple of rank pc (1 <= pc <= trip_count()):
+  /// closed-form roots guarded by exact integer correction, with binary
+  /// search as fallback.  Never returns a wrong tuple.  `stats`, when
+  /// non-null, accumulates which path each level took.
+  void recover(i64 pc, std::span<i64> idx, RecoveryStats* stats = nullptr) const;
+
+  /// Closed-form recovery *without* the correction guard (ablation /
+  /// tests).  Returns false if any level lacks a formula or produced a
+  /// non-finite value; idx is then unspecified.
+  bool recover_closed_raw(i64 pc, std::span<i64> idx) const;
+
+  /// Exact binary-search recovery (no floating point).
+  void recover_search(i64 pc, std::span<i64> idx) const;
+
+  /// Advance to the lexicographic successor; false after the last tuple.
+  bool increment(std::span<i64> idx) const;
+
+  void first(std::span<i64> idx) const;
+  void last(std::span<i64> idx) const;
+
+  i64 lower_bound(int level, std::span<const i64> idx) const {
+    return bounds_lo_[static_cast<size_t>(level)].eval(idx.data());
+  }
+  i64 upper_bound(int level, std::span<const i64> idx) const {
+    return bounds_hi_[static_cast<size_t>(level)].eval(idx.data());
+  }
+
+ private:
+  friend class Collapsed;
+  CollapsedEval() = default;
+
+  /// Affine bound pre-folded over the parameters: only loop-var slots
+  /// remain.  idx points at the loop-variable array (slots 0..c-1).
+  /// Terms live in a fixed inline array so eval() stays branch-light and
+  /// allocation-free on the odometer hot path.
+  struct Bound {
+    static constexpr int kMaxTerms = kMaxDepth;
+    i64 cst = 0;
+    int nterms = 0;
+    int slot[kMaxTerms] = {};
+    i64 coef[kMaxTerms] = {};
+
+    void add_term(int s, i64 co) {
+      if (nterms >= kMaxTerms) throw SpecError("Bound: too many terms");
+      slot[nterms] = s;
+      coef[nterms] = co;
+      ++nterms;
+    }
+    i64 eval(const i64* idx) const {
+      i64 acc = cst;
+      for (int t = 0; t < nterms; ++t) acc += coef[t] * idx[slot[t]];
+      return acc;
+    }
+  };
+
+  i64 search_level(int k, std::span<i64> pt, i64 pc) const;
+
+  int c_ = 0;
+  size_t nslots_ = 0;
+  size_t pc_slot_ = 0;
+  i64 total_ = 0;
+  ParamMap params_;
+  std::array<i64, kMaxSlots> base_{};  // params pre-filled, rest zero
+  std::vector<Bound> bounds_lo_, bounds_hi_;
+  std::vector<CompiledPoly> prank_;    // per level; prank_[c-1] is the full rank
+  std::vector<CompiledExpr> closed_;   // per level; may be empty
+  static constexpr int kMaxCorrection = 16;
+};
+
+}  // namespace nrc

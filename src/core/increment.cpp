@@ -1,0 +1,34 @@
+#include "core/increment.hpp"
+
+namespace nrc {
+
+bool next_point(const NestSpec& spec, const ParamMap& params, std::span<i64> idx) {
+  const int c = spec.depth();
+  std::map<std::string, i64> vals = params;
+  for (int k = 0; k < c; ++k) vals[spec.at(k).var] = idx[static_cast<size_t>(k)];
+
+  int k = c - 1;
+  ++idx[static_cast<size_t>(k)];
+  vals[spec.at(k).var] = idx[static_cast<size_t>(k)];
+  while (idx[static_cast<size_t>(k)] >= spec.at(k).upper.eval(vals)) {
+    if (k == 0) return false;
+    --k;
+    ++idx[static_cast<size_t>(k)];
+    vals[spec.at(k).var] = idx[static_cast<size_t>(k)];
+  }
+  for (int q = k + 1; q < c; ++q) {
+    idx[static_cast<size_t>(q)] = spec.at(q).lower.eval(vals);
+    vals[spec.at(q).var] = idx[static_cast<size_t>(q)];
+  }
+  return true;
+}
+
+void first_point(const NestSpec& spec, const ParamMap& params, std::span<i64> idx) {
+  std::map<std::string, i64> vals = params;
+  for (int k = 0; k < spec.depth(); ++k) {
+    idx[static_cast<size_t>(k)] = spec.at(k).lower.eval(vals);
+    vals[spec.at(k).var] = idx[static_cast<size_t>(k)];
+  }
+}
+
+}  // namespace nrc

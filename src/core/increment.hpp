@@ -1,0 +1,23 @@
+#pragma once
+// Reference odometer: advance an iteration tuple to its lexicographic
+// successor by replaying the original nest's index incrementation
+// (paper §V — the cheap per-iteration recovery).  The runtime fast path
+// lives in CollapsedEval; this reference version works directly on a
+// NestSpec and is used by tests and validators.
+
+#include <span>
+
+#include "polyhedral/domain.hpp"
+#include "polyhedral/nest.hpp"
+
+namespace nrc {
+
+/// Advance `idx` to the next point of the domain (lexicographic order).
+/// Returns false when `idx` was the last point (idx is then unspecified).
+/// Precondition: `idx` is a point of the domain.
+bool next_point(const NestSpec& spec, const ParamMap& params, std::span<i64> idx);
+
+/// Set `idx` to the first (lexicographically minimal) point.
+void first_point(const NestSpec& spec, const ParamMap& params, std::span<i64> idx);
+
+}  // namespace nrc

@@ -1,0 +1,38 @@
+#include "core/ranking.hpp"
+
+#include "support/error.hpp"
+
+namespace nrc {
+
+RankingSystem build_ranking_system(const NestSpec& spec) {
+  spec.validate();
+  for (const auto& p : spec.params())
+    if (p == kPcVar) throw SpecError("NestSpec: parameter name 'pc' is reserved");
+  for (const auto& l : spec.loops())
+    if (l.var == kPcVar) throw SpecError("NestSpec: loop variable name 'pc' is reserved");
+
+  RankingSystem rs;
+  rs.nest = spec;
+  rs.subtree = subtree_counts(spec);
+
+  const int c = spec.depth();
+
+  // rank = 1 + sum_k  sum_{t = l_k}^{i_k - 1} S_{k+1}(i_0..i_{k-1}, t)
+  Polynomial r(Rational(1));
+  for (int k = 0; k < c; ++k) {
+    const Loop& l = spec.at(k);
+    const Polynomial upper_excl = Polynomial::variable(l.var) - Polynomial(Rational(1));
+    r += sum_over_range(rs.subtree[static_cast<size_t>(k) + 1], l.var, l.lower.to_poly(),
+                        upper_excl);
+  }
+  rs.rank = r;
+
+  rs.prefix_rank.resize(static_cast<size_t>(c));
+  for (int k = 0; k < c; ++k)
+    rs.prefix_rank[static_cast<size_t>(k)] = substitute_trailing_lexmin(r, spec, k);
+
+  rs.total = substitute_trailing_lexmax(r, spec, -1);
+  return rs;
+}
+
+}  // namespace nrc

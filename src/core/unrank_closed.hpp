@@ -1,0 +1,53 @@
+#pragma once
+// Closed-form unranking: the level equations and their convenient roots
+// (paper §IV).
+//
+// For each level k the equation
+//
+//   prefix_rank[k](i_0, ..., i_{k-1}, x) - pc = 0
+//
+// is univariate in x with coefficients that are polynomials in the prefix
+// indices, the parameters and pc.  Degrees up to 4 are invertible in
+// closed form; among the root branches exactly one — the *convenient*
+// root — recovers the original index as floor(Re(x)) for every pc
+// (paper §IV-D proves uniqueness and pc-independence of the branch).
+// Branch selection is therefore performed once, numerically, on a small
+// calibration domain, and generalizes.
+
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "polyhedral/domain.hpp"
+#include "symbolic/expr.hpp"
+
+namespace nrc {
+
+/// Closed-form description of one level's recovery.
+struct LevelFormula {
+  int degree = 0;                  ///< degree of the level equation in i_k
+  std::vector<Polynomial> coeffs;  ///< a0..a_deg over (i_0..i_{k-1}, params, pc)
+  int branch = -1;                 ///< selected convenient branch (-1: none)
+  Expr root;                       ///< symbolic root (empty when branch < 0)
+};
+
+/// Build the level equations; `root`/`branch` stay unset.  Levels whose
+/// degree exceeds `max_degree` get an empty coefficient list (they will
+/// be recovered by exact search).
+std::vector<LevelFormula> build_level_formulas(const RankingSystem& rs, int max_degree);
+
+/// Numerically select the convenient branch for every level over the
+/// whole calibration domain, and fill in `branch` and `root`.
+/// A level whose best branch mis-recovers more than half of the
+/// calibration points is disabled (branch = -1) rather than trusted.
+/// `slot_order` is the variable layout used at runtime
+/// (loop vars, params..., "pc").
+void select_convenient_branches(std::vector<LevelFormula>& levels, const RankingSystem& rs,
+                                const ParamMap& calibration,
+                                std::span<const std::string> slot_order);
+
+/// Heuristic calibration parameters: the smallest uniform assignment
+/// giving a healthy, non-degenerate domain.  Returns an empty map for
+/// parameter-free nests.  Throws SolveError when nothing suitable exists.
+ParamMap default_calibration(const NestSpec& spec);
+
+}  // namespace nrc

@@ -1,0 +1,121 @@
+#include "core/unrank_newton.hpp"
+
+#include <cmath>
+
+#include "core/collapse.hpp"  // kMaxSlots
+#include "support/error.hpp"
+
+namespace nrc {
+
+NewtonUnranker::NewtonUnranker(const RankingSystem& rs, const ParamMap& params)
+    : nest_(rs.nest), params_(params) {
+  c_ = nest_.depth();
+  slots_ = nest_.loop_vars();
+  for (const auto& p : nest_.params()) slots_.push_back(p);
+  slots_.push_back(kPcVar);
+  nslots_ = slots_.size();
+  pc_slot_ = nslots_ - 1;
+
+  base_.assign(nslots_, 0);
+  for (size_t s = 0; s < nslots_; ++s) {
+    auto it = params.find(slots_[s]);
+    if (it != params.end()) base_[static_cast<size_t>(s)] = it->second;
+  }
+  for (const auto& p : nest_.params())
+    if (!params.count(p)) throw SpecError("NewtonUnranker: missing parameter " + p);
+
+  for (int k = 0; k < c_; ++k) {
+    const Polynomial& R = rs.prefix_rank[static_cast<size_t>(k)];
+    prank_.emplace_back(R, slots_);
+    dprank_.emplace_back(R.derivative(nest_.at(k).var), slots_);
+  }
+}
+
+i64 NewtonUnranker::solve_level(int k, std::span<i64> pt, i64 pc) const {
+  // Bounds of this level given the prefix already stored in pt.
+  std::map<std::string, i64> vals(params_.begin(), params_.end());
+  for (int q = 0; q < k; ++q) vals[nest_.at(q).var] = pt[static_cast<size_t>(q)];
+  i64 lo = nest_.at(k).lower.eval(vals);
+  i64 hi = nest_.at(k).upper.eval(vals) - 1;
+  if (hi < lo) throw SolveError("NewtonUnranker: empty range at level " + nest_.at(k).var);
+
+  const CompiledPoly& R = prank_[static_cast<size_t>(k)];
+  const CompiledPoly& dR = dprank_[static_cast<size_t>(k)];
+  auto rank_at = [&](i64 t) {
+    pt[static_cast<size_t>(k)] = t;
+    return R.eval_i128(std::span<const i64>(pt.data(), nslots_));
+  };
+
+  // Goal: the largest t in [lo, hi] with rank_at(t) <= pc, maintaining
+  // the exact bracket rank_at(lo) <= pc throughout.  Newton iterates
+  // from the latest probe (monotone one-sided convergence on the
+  // convex/concave stretches ranking polynomials have); each accepted
+  // probe also tries the O(1) completion test "am I the boundary?".
+  // A bounded iteration budget falls back to plain bisection, so the
+  // worst case stays logarithmic.
+  if (rank_at(lo) > pc)
+    throw SolveError("NewtonUnranker: pc below the prefix subtree");
+  if (lo == hi || rank_at(hi) <= pc) {
+    pt[static_cast<size_t>(k)] = hi;
+    ++steps_;
+    return hi;
+  }
+  // Bracket now: rank(lo) <= pc < rank(hi), so the answer is in [lo, hi).
+
+  i64 x = lo + (hi - lo) / 2;
+  for (int iter = 0; iter < 24 && lo + 1 < hi; ++iter) {
+    const long double f =
+        static_cast<long double>(rank_at(x)) - static_cast<long double>(pc);
+    long double pt_ld[kMaxSlots];
+    for (size_t s = 0; s < nslots_; ++s)
+      pt_ld[s] = static_cast<long double>(pt[static_cast<size_t>(s)]);
+    const long double df = dR.eval_ld({pt_ld, nslots_});
+    ++steps_;
+
+    if (f <= 0.0L) {
+      lo = x;
+      // Completion test: lo is the answer iff rank(lo + 1) > pc.
+      if (rank_at(lo + 1) > pc) {
+        ++steps_;
+        pt[static_cast<size_t>(k)] = lo;
+        return lo;
+      }
+      ++steps_;
+    } else {
+      hi = x;  // rank(hi) > pc invariant kept
+    }
+
+    i64 next = lo + (hi - lo) / 2;  // bisection fallback
+    if (df >= 1.0L) {
+      const long double step = f / df;
+      if (std::isfinite(static_cast<double>(step))) {
+        const i64 suggestion = x - static_cast<i64>(std::llroundl(step));
+        if (suggestion > lo && suggestion < hi) next = suggestion;
+      }
+    }
+    x = next == x ? lo + (hi - lo) / 2 : next;
+    if (x == lo) x = lo + 1;
+  }
+
+  // Budget exhausted (pathological shape): finish by pure bisection.
+  while (lo + 1 < hi) {
+    const i64 mid = lo + (hi - lo) / 2;
+    ++steps_;
+    if (rank_at(mid) <= pc) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  pt[static_cast<size_t>(k)] = lo;
+  return lo;
+}
+
+void NewtonUnranker::recover(i64 pc, std::span<i64> idx) const {
+  std::vector<i64> pt = base_;
+  pt[pc_slot_] = pc;
+  std::span<i64> pts(pt.data(), nslots_);
+  for (int k = 0; k < c_; ++k) idx[static_cast<size_t>(k)] = solve_level(k, pts, pc);
+}
+
+}  // namespace nrc

@@ -1,0 +1,43 @@
+#include "core/unrank_search.hpp"
+
+#include "support/error.hpp"
+
+namespace nrc {
+
+std::vector<i64> unrank_by_search(const RankingSystem& rs, const ParamMap& params, i64 pc) {
+  const int c = rs.nest.depth();
+  std::map<std::string, i64> vals = params;
+  std::vector<i64> idx(static_cast<size_t>(c));
+
+  for (int k = 0; k < c; ++k) {
+    const Loop& l = rs.nest.at(k);
+    const i64 lb = l.lower.eval(vals);
+    const i64 ub = l.upper.eval(vals);  // exclusive
+    if (ub <= lb) throw SolveError("unrank_by_search: empty range at level " + l.var);
+
+    const Polynomial& R = rs.prefix_rank[static_cast<size_t>(k)];
+    auto rank_at = [&](i64 t) {
+      vals[l.var] = t;
+      return R.eval_i128(vals);
+    };
+
+    // Largest t in [lb, ub-1] with R(prefix, t) <= pc.
+    i64 lo = lb;
+    i64 hi = ub - 1;
+    if (rank_at(lo) > pc)
+      throw SolveError("unrank_by_search: pc below the prefix subtree (invalid pc?)");
+    while (lo < hi) {
+      const i64 mid = lo + (hi - lo + 1) / 2;
+      if (rank_at(mid) <= pc) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    idx[static_cast<size_t>(k)] = lo;
+    vals[l.var] = lo;
+  }
+  return idx;
+}
+
+}  // namespace nrc

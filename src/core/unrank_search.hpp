@@ -1,0 +1,23 @@
+#pragma once
+// Exact unranking by per-level binary search.
+//
+// Extension beyond the paper: prefix_rank[k] is strictly increasing in
+// i_k over the level's range, so the index can be recovered by a
+// logarithmic search using exact integer evaluation — no degree limit,
+// no floating point.  The library uses this as (a) the correctness
+// oracle for the closed-form path, (b) the fallback when a formula
+// degenerates, and (c) the only recovery for levels of degree > 4.
+
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "polyhedral/domain.hpp"
+
+namespace nrc {
+
+/// Reference implementation on top of the symbolic system (cold path,
+/// used by tests; the runtime fast path lives in CollapsedEval).
+/// Recovers the iteration tuple of rank `pc` (1-based).
+std::vector<i64> unrank_by_search(const RankingSystem& rs, const ParamMap& params, i64 pc);
+
+}  // namespace nrc

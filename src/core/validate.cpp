@@ -1,0 +1,114 @@
+#include "core/validate.hpp"
+
+#include <sstream>
+
+namespace nrc {
+namespace {
+
+std::string tuple_str(std::span<const i64> t) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < t.size(); ++i) os << (i ? "," : "") << t[i];
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate_collapsed(const Collapsed& col, const ParamMap& params,
+                                    const ValidateOptions& opts) {
+  ValidationReport rep;
+  const CollapsedEval ev = col.bind(params);
+  const int c = ev.depth();
+
+  std::vector<i64> odo(static_cast<size_t>(c));
+  bool odo_alive = true;
+  ev.first(odo);
+
+  i64 pos = 0;
+  auto fail = [&](const std::string& what) {
+    ++rep.mismatches;
+    rep.ok = false;
+    if (rep.first_error.empty()) rep.first_error = what;
+  };
+
+  walk_domain(col.nest(), params, [&](std::span<const i64> point) {
+    if (opts.max_points >= 0 && pos >= opts.max_points) return;
+    ++pos;
+    ++rep.points_checked;
+
+    if (opts.check_rank) {
+      try {
+        const i64 r = ev.rank(point);
+        if (r != pos)
+          fail("rank" + tuple_str(point) + " = " + std::to_string(r) + ", expected " +
+               std::to_string(pos));
+      } catch (const Error& e) {
+        fail("rank threw at pc=" + std::to_string(pos) + ": " + e.what());
+      }
+    }
+
+    std::vector<i64> got(static_cast<size_t>(c));
+    auto check_tuple = [&](const char* name, std::span<const i64> t) {
+      for (int k = 0; k < c; ++k) {
+        if (t[static_cast<size_t>(k)] != point[static_cast<size_t>(k)]) {
+          fail(std::string(name) + " at pc=" + std::to_string(pos) + ": got " +
+               tuple_str(t) + ", expected " + tuple_str(point));
+          return;
+        }
+      }
+    };
+
+    // A model-violating nest can make recovery *throw* (the exact guards
+    // notice the inconsistency); the validator records that as a detected
+    // mismatch rather than aborting the sweep.
+    auto guarded = [&](const char* name, auto&& fn) {
+      try {
+        fn();
+      } catch (const Error& e) {
+        fail(std::string(name) + " threw at pc=" + std::to_string(pos) + ": " + e.what());
+      }
+    };
+
+    if (opts.check_recover) {
+      guarded("recover", [&] {
+        ev.recover(pos, got);
+        check_tuple("recover", got);
+      });
+    }
+    if (opts.check_recover_search) {
+      guarded("recover_search", [&] {
+        ev.recover_search(pos, got);
+        check_tuple("recover_search", got);
+      });
+    }
+    if (opts.check_closed_raw) {
+      guarded("recover_closed_raw", [&] {
+        if (ev.recover_closed_raw(pos, got)) {
+          check_tuple("recover_closed_raw", got);
+        } else {
+          fail("recover_closed_raw unavailable/non-finite at pc=" + std::to_string(pos));
+        }
+      });
+    }
+    if (opts.check_increment) {
+      if (!odo_alive) {
+        fail("odometer ended before the walk did, at pc=" + std::to_string(pos));
+      } else {
+        check_tuple("increment", odo);
+        guarded("increment", [&] { odo_alive = ev.increment(odo); });
+      }
+    }
+  });
+
+  if (opts.check_increment && odo_alive && (opts.max_points < 0) && rep.ok)
+    fail("odometer did not end with the walk");
+
+  if (opts.check_rank && opts.max_points < 0 && pos != ev.trip_count())
+    fail("trip_count() = " + std::to_string(ev.trip_count()) + " but the walk visited " +
+         std::to_string(pos) + " points");
+
+  return rep;
+}
+
+}  // namespace nrc

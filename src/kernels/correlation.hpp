@@ -1,0 +1,31 @@
+#pragma once
+// correlation — the paper's motivating example (Fig. 1).
+//
+// Hot nest (3-deep, triangular, outer two loops parallel and collapsed):
+//   for (i = 0; i < N-1; i++)
+//     for (j = i+1; j < N; j++) {
+//       for (k = 0; k < N; k++)
+//         a[i][j] += b[k][i] * c[k][j];
+//       a[j][i] = a[i][j];
+//     }
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class CorrelationKernel final : public KernelBase {
+ public:
+  CorrelationKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  template <class IJ>
+  void body(IJ i, IJ j);
+
+  i64 n_ = 0;
+  Matrix a_, b_, c_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,32 @@
+#pragma once
+// covariance — Polybench-shaped inclusive-triangular nest.
+//
+// Hot nest (3-deep, j from i inclusive, outer two collapsed):
+//   for (i = 0; i < N; i++)
+//     for (j = i; j < N; j++) {
+//       cov[i][j] = sum_k (data[k][i]-mean[i]) * (data[k][j]-mean[j]) / (K-1);
+//       cov[j][i] = cov[i][j];
+//     }
+// The rectangular mean pass is precomputed in prepare() (untimed); the
+// paper times "the most time-consuming non-rectangular loop nest".
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class CovarianceKernel final : public KernelBase {
+ public:
+  CovarianceKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void body(i64 i, i64 j);
+
+  i64 n_ = 0;
+  Matrix data_, cov_;
+  std::vector<double> mean_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,30 @@
+#include "kernels/data.hpp"
+
+#include <cmath>
+
+namespace nrc {
+
+Matrix::Matrix(i64 rows, i64 cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {}
+
+void Matrix::fill_lcg(unsigned seed) {
+  unsigned s = seed;
+  for (double& v : data_) {
+    s = s * 1664525u + 1013904223u;
+    v = static_cast<double>(s % 1000u) / 1000.0;
+  }
+}
+
+void Matrix::fill_zero() { data_.assign(data_.size(), 0.0); }
+
+double Matrix::checksum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+bool nearly_equal(double a, double b, double rel_tol) {
+  return std::fabs(a - b) <= rel_tol * (std::fabs(a) + std::fabs(b) + 1.0);
+}
+
+}  // namespace nrc

@@ -1,0 +1,44 @@
+#pragma once
+// Shared data-plumbing for the evaluation kernels: a contiguous row-major
+// matrix with deterministic initialization and checksumming.  Checksums
+// let the benchmark harnesses verify that every scheduling variant of a
+// kernel computes the same result (the paper: "outputs of collapsed and
+// non-collapsed programs have been compared to ensure the correctness").
+
+#include <vector>
+
+#include "support/int128.hpp"
+
+namespace nrc {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(i64 rows, i64 cols);
+
+  i64 rows() const { return rows_; }
+  i64 cols() const { return cols_; }
+
+  double* row(i64 r) { return data_.data() + r * cols_; }
+  const double* row(i64 r) const { return data_.data() + r * cols_; }
+  double* operator[](i64 r) { return row(r); }
+  const double* operator[](i64 r) const { return row(r); }
+
+  /// Deterministic pseudo-random fill in [0, 1) (LCG; seed-stable).
+  void fill_lcg(unsigned seed);
+  void fill_zero();
+
+  /// Plain left-to-right sum of all elements.
+  double checksum() const;
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Relative comparison used when cross-checking kernel variants.
+bool nearly_equal(double a, double b, double rel_tol = 1e-9);
+
+}  // namespace nrc

@@ -1,0 +1,37 @@
+#pragma once
+// ltmp — lower-triangular matrix product (introduced by the paper:
+// "the product of two lower triangular 4000 x 4000 matrices").
+//
+// Hot nest (3-deep):
+//   for (i = 0; i < N; i++)
+//     for (j = 0; j < i+1; j++) {
+//       double acc = 0;
+//       for (k = j; k < i+1; k++) acc += A[i][k] * B[k][j];
+//       C[i][j] = acc;
+//     }
+//
+// The innermost loop is a reduction (data dependence), so — exactly as
+// the paper reports — only the two outermost loops can be collapsed, and
+// the remaining k-trip-count (i - j + 1) still varies per collapsed
+// iteration.  This is the kernel where the paper's dynamic baseline
+// wins: the residual imbalance inside the collapsed chunks persists.
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class LtmpKernel final : public KernelBase {
+ public:
+  LtmpKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void body(i64 i, i64 j);
+
+  i64 n_ = 0;
+  Matrix a_, b_, c_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,92 @@
+#include "kernels/skewed_stencil.hpp"
+
+#include "runtime/segments.hpp"
+
+namespace nrc {
+
+SkewedStencilKernel::SkewedStencilKernel() {
+  info_ = {"skewstencil",
+           "trapezoidal skewed stencil sweep (Pluto skewing shape)",
+           "trapezoidal",
+           /*nest_depth=*/3,
+           /*collapse_depth=*/2};
+}
+
+void SkewedStencilKernel::prepare(double scale) {
+  t_ = scaled(1600, scale);
+  n_ = scaled(800, scale);
+  out_ = Matrix(t_, n_ + 2 * t_);
+  in_.assign(static_cast<size_t>(n_ + 2 * t_ + kTaps), 0.0);
+  w_.assign(static_cast<size_t>(kTaps), 0.0);
+  unsigned s = 37;
+  for (double& v : in_) {
+    s = s * 1664525u + 1013904223u;
+    v = static_cast<double>(s % 1000u) / 1000.0;
+  }
+  for (i64 r = 0; r < kTaps; ++r)
+    w_[static_cast<size_t>(r)] = 1.0 / static_cast<double>(r + 1);
+
+  NestSpec nest;
+  nest.param("T").param("N")
+      .loop("i", aff::c(0), aff::v("T"))
+      .loop("j", aff::v("i"), aff::v("N") + 2 * aff::v("i"));
+  setup_collapse(nest, {{"T", t_}, {"N", n_}});
+  timed_reps_ = 20;
+}
+
+inline void SkewedStencilKernel::body(i64 i, i64 j) {
+  double acc = 0.0;
+  const double* base = in_.data() + (j - i);
+  for (i64 r = 0; r < kTaps; ++r) acc += base[r] * w_[static_cast<size_t>(r)];
+  out_[i][j - i] = acc;
+}
+
+void SkewedStencilKernel::run(Variant v, int threads, int root_eval_sims) {
+  out_.fill_zero();
+  auto span_body = [&](std::span<const i64> ij) { body(ij[0], ij[1]); };
+  // Row-segment body (§VI-A): the tap loop stays innermost over a
+  // contiguous j-run, exactly like the original nest.
+  auto seg_body = [&](std::span<const i64> prefix, i64 j0, i64 j1) {
+    const i64 i = prefix[0];
+    for (i64 j = j0; j < j1; ++j) body(i, j);
+  };
+  for (int rep = 0; rep < timed_reps_; ++rep) {
+    switch (v) {
+      case Variant::SerialOriginal:
+        for (i64 i = 0; i < t_; ++i)
+          for (i64 j = i; j < n_ + 2 * i; ++j) body(i, j);
+        break;
+      case Variant::SerialCollapsedSim:
+        collapsed_serial_segments_sim(*eval_, root_eval_sims, seg_body);
+        break;
+      case Variant::SerialCollapsedSimScalar:
+        collapsed_serial_sim(*eval_, root_eval_sims, span_body);
+        break;
+      case Variant::OuterStatic:
+  #pragma omp parallel for schedule(static) num_threads(threads)
+        for (i64 i = 0; i < t_; ++i)
+          for (i64 j = i; j < n_ + 2 * i; ++j) body(i, j);
+        break;
+      case Variant::OuterDynamic:
+  #pragma omp parallel for schedule(dynamic) num_threads(threads)
+        for (i64 i = 0; i < t_; ++i)
+          for (i64 j = i; j < n_ + 2 * i; ++j) body(i, j);
+        break;
+      case Variant::CollapsedStatic:
+        collapsed_for_row_segments_chunked(
+            *eval_, default_chunk(eval_->trip_count(), threads), seg_body,
+            threads);
+        break;
+      case Variant::CollapsedStaticBlock:
+        collapsed_for_row_segments(*eval_, seg_body, threads);
+        break;
+      case Variant::CollapsedDynamic:
+        collapsed_for_per_iteration(*eval_, span_body, OmpSchedule::Dynamic, {threads});
+        break;
+    }
+  }
+}
+
+double SkewedStencilKernel::checksum() const { return out_.checksum(); }
+
+}  // namespace nrc

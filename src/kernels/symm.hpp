@@ -1,0 +1,30 @@
+#pragma once
+// symm — triangular symmetric update with a light body.
+//
+// Hot nest (2-deep, j <= i, *fully* collapsed):
+//   for (i = 0; i < N; i++)
+//     for (j = 0; j < i+1; j++)
+//       C[i][j] = alpha * A[i][j] * B[j][i] + beta * C[i][j];
+//
+// This is one of the paper's "all loops collapsed" cases: with no inner
+// loop left, the per-chunk recovery and the odometer are a visible
+// fraction of the work, which is exactly what makes symm (and
+// covariance) the Fig. 10 outliers.
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class SymmKernel final : public KernelBase {
+ public:
+  SymmKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  i64 n_ = 0;
+  Matrix a_, b_, c_;
+};
+
+}  // namespace nrc

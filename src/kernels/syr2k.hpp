@@ -1,0 +1,32 @@
+#pragma once
+// syr2k — symmetric rank-2k update on the lower triangle.
+//
+// Hot nest (3-deep, j <= i, outer two collapsed):
+//   for (i = 0; i < N; i++)
+//     for (j = 0; j < i+1; j++) {
+//       double acc = beta * C[i][j];
+//       for (k = 0; k < K; k++)
+//         acc += alpha * (A[i][k]*B[j][k] + B[i][k]*A[j][k]);
+//       C[i][j] = acc;
+//     }
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class Syr2kKernel final : public KernelBase {
+ public:
+  Syr2kKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void body(i64 i, i64 j);
+
+  i64 n_ = 0;
+  i64 k_ = 0;
+  Matrix a_, b_, c_;
+};
+
+}  // namespace nrc

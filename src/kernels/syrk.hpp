@@ -1,0 +1,31 @@
+#pragma once
+// syrk — symmetric rank-k update on the lower triangle.
+//
+// Hot nest (3-deep, j <= i, outer two collapsed):
+//   for (i = 0; i < N; i++)
+//     for (j = 0; j < i+1; j++) {
+//       double acc = beta * C[i][j];
+//       for (k = 0; k < K; k++) acc += alpha * A[i][k] * A[j][k];
+//       C[i][j] = acc;
+//     }
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class SyrkKernel final : public KernelBase {
+ public:
+  SyrkKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void body(i64 i, i64 j);
+
+  i64 n_ = 0;
+  i64 k_ = 0;
+  Matrix a_, c_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,57 @@
+#pragma once
+// correlation_tiled / covariance_tiled — Pluto-style tiled variants.
+//
+// The paper: "Some programs have also been transformed by tiling the
+// loops (using flag --tile of Pluto), since tiling often yields
+// incomplete tiles that affect load balancing."
+//
+// The triangular (i, j) space is covered by TS x TS tiles whose tile
+// coordinates themselves form a triangular space:
+//
+//   for (it = 0; it < NT; it++)
+//     for (jt = it; jt < NT; jt++)       <- collapsed pair
+//       ... clamped intra-tile loops ...
+//
+// Diagonal tiles are half-empty and tile work varies, so an outer-loop
+// static schedule is imbalanced at the *tile* level, which is what
+// collapsing the tile loops repairs.  NT = ceil(N / TS) is precomputed
+// on the host and passed as the nest parameter (bounds stay affine).
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class CorrelationTiledKernel final : public KernelBase {
+ public:
+  CorrelationTiledKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void tile_body(i64 it, i64 jt);
+
+  i64 n_ = 0;
+  i64 ts_ = 0;
+  i64 nt_ = 0;
+  Matrix a_, b_, c_;
+};
+
+class CovarianceTiledKernel final : public KernelBase {
+ public:
+  CovarianceTiledKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void tile_body(i64 it, i64 jt);
+
+  i64 n_ = 0;
+  i64 ts_ = 0;
+  i64 nt_ = 0;
+  Matrix data_, cov_;
+  std::vector<double> mean_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,33 @@
+#pragma once
+// trmm_tri — triangular matrix product with depth-varying inner work.
+//
+// Hot nest (3-deep, j >= i, outer two collapsed):
+//   for (i = 0; i < N; i++)
+//     for (j = i; j < N; j++) {
+//       double acc = 0;
+//       for (k = i; k < N; k++) acc += A[k][i] * B[k][j];
+//       out[i][j] = acc;
+//     }
+// The inner k-range shrinks with i, so rows near the top carry much more
+// work — stacking triangular iteration count on triangular per-iteration
+// cost (a stronger imbalance than correlation).
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class TrmmTriKernel final : public KernelBase {
+ public:
+  TrmmTriKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  void body(i64 i, i64 j);
+
+  i64 n_ = 0;
+  Matrix a_, b_, out_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,30 @@
+#pragma once
+// utma — upper-triangular matrix add (introduced by the paper itself:
+// "the sum of two upper triangular 5000 x 5000 matrices").
+//
+// Hot nest (2-deep, j >= i, *fully* collapsed, minimal body):
+//   for (i = 0; i < N; i++)
+//     for (j = i; j < N; j++)
+//       C[i][j] = A[i][j] + B[i][j];
+//
+// With one add per iteration this is the extreme case for recovery
+// overhead (Fig. 10) while still benefiting from balanced distribution
+// (Fig. 9).
+
+#include "kernels/kernel_base.hpp"
+
+namespace nrc {
+
+class UtmaKernel final : public KernelBase {
+ public:
+  UtmaKernel();
+  void prepare(double scale) override;
+  void run(Variant v, int threads, int root_eval_sims) override;
+  double checksum() const override;
+
+ private:
+  i64 n_ = 0;
+  Matrix a_, b_, c_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,73 @@
+#include "math/faulhaber.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+
+/// Exact Lagrange interpolation through integer points (x_i, y_i).
+Polynomial lagrange(const std::vector<i64>& xs, const std::vector<Rational>& ys) {
+  const Polynomial x = Polynomial::variable("x");
+  Polynomial acc;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Polynomial basis(Rational(1));
+    Rational denom(1);
+    for (size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      basis *= (x - Polynomial(Rational(xs[j])));
+      denom *= Rational(xs[i] - xs[j]);
+    }
+    acc += basis * (ys[i] / denom);
+  }
+  return acc;
+}
+
+Polynomial build_faulhaber(unsigned p) {
+  // F_p has degree p+1, so p+2 points pin it down.  Use x = -1 .. p with
+  // the recurrence F(-1) = 0, F(k) = F(k-1) + k^p  (0^0 == 1).
+  std::vector<i64> xs;
+  std::vector<Rational> ys;
+  Rational running(0);
+  xs.push_back(-1);
+  ys.push_back(running);
+  for (i64 k = 0; k <= static_cast<i64>(p); ++k) {
+    Rational kp(1);
+    for (unsigned e = 0; e < p; ++e) kp *= Rational(k);
+    running += kp;  // k^p with 0^0 = 1 handled by the empty product
+    xs.push_back(k);
+    ys.push_back(running);
+  }
+  return lagrange(xs, ys);
+}
+
+}  // namespace
+
+const Polynomial& faulhaber(unsigned p) {
+  static std::mutex mu;
+  static std::vector<Polynomial> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  while (cache.size() <= p) cache.push_back(build_faulhaber(static_cast<unsigned>(cache.size())));
+  return cache[p];
+}
+
+Polynomial sum_over_range(const Polynomial& P, const std::string& var, const Polynomial& lo,
+                          const Polynomial& hi) {
+  const Polynomial lo_minus_1 = lo - Polynomial(Rational(1));
+  const auto coeffs = P.coefficients_in(var);
+  Polynomial acc;
+  for (size_t e = 0; e < coeffs.size(); ++e) {
+    if (coeffs[e].is_zero()) continue;
+    if (coeffs[e].degree_in(var) > 0)
+      throw SpecError("sum_over_range: coefficient still mentions summation variable " + var);
+    const Polynomial& F = faulhaber(static_cast<unsigned>(e));
+    const Polynomial upper = F.substitute("x", hi);
+    const Polynomial lower = F.substitute("x", lo_minus_1);
+    acc += coeffs[e] * (upper - lower);
+  }
+  return acc;
+}
+
+}  // namespace nrc

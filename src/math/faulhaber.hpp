@@ -1,0 +1,33 @@
+#pragma once
+// Faulhaber (power-sum) polynomials and symbolic summation.
+//
+// This module is the replacement for PolyLib/barvinok Ehrhart counting in
+// the model handled by the paper (Fig. 5: perfectly nested loops with
+// affine bounds in outer iterators and parameters).  For such nests every
+// point count is a nested sum of polynomials over affine ranges, which
+// closed-forms exactly through the discrete antiderivative
+//
+//     F_p(x) = sum_{t=0}^{x} t^p       (degree p+1, integer-valued on Z,
+//                                       F_p(-1) = 0 by construction)
+//
+// composed with the affine bounds.  All arithmetic is exact rational.
+
+#include <string>
+
+#include "math/polynomial.hpp"
+
+namespace nrc {
+
+/// The Faulhaber polynomial F_p as a univariate polynomial in variable
+/// "x" (cached; thread-safe after first use of each degree).
+/// F_0(x) = x + 1 (we use the convention 0^0 = 1).
+const Polynomial& faulhaber(unsigned p);
+
+/// Closed form of   sum_{var = lo}^{hi} P   (hi inclusive) where `lo` and
+/// `hi` are polynomials not involving `var`.  The result no longer
+/// involves `var`.  The identity assumes a non-empty range (hi >= lo-1);
+/// for hi == lo-1 the result is exactly zero, matching an empty sum.
+Polynomial sum_over_range(const Polynomial& P, const std::string& var, const Polynomial& lo,
+                          const Polynomial& hi);
+
+}  // namespace nrc

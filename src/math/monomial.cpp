@@ -1,0 +1,76 @@
+#include "math/monomial.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace nrc {
+
+Monomial Monomial::var(const std::string& name, int power) {
+  if (power <= 0) throw SpecError("Monomial::var: power must be positive");
+  Monomial m;
+  m.exps_.emplace_back(name, power);
+  return m;
+}
+
+int Monomial::exponent(const std::string& name) const {
+  for (const auto& [v, e] : exps_)
+    if (v == name) return e;
+  return 0;
+}
+
+Monomial Monomial::operator*(const Monomial& o) const {
+  Monomial r;
+  r.exps_.reserve(exps_.size() + o.exps_.size());
+  auto a = exps_.begin();
+  auto b = o.exps_.begin();
+  while (a != exps_.end() && b != o.exps_.end()) {
+    if (a->first < b->first) {
+      r.exps_.push_back(*a++);
+    } else if (b->first < a->first) {
+      r.exps_.push_back(*b++);
+    } else {
+      r.exps_.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  r.exps_.insert(r.exps_.end(), a, exps_.end());
+  r.exps_.insert(r.exps_.end(), b, o.exps_.end());
+  return r;
+}
+
+Monomial Monomial::without(const std::string& name) const {
+  Monomial r;
+  r.exps_.reserve(exps_.size());
+  for (const auto& f : exps_)
+    if (f.first != name) r.exps_.push_back(f);
+  return r;
+}
+
+int Monomial::total_degree() const {
+  int d = 0;
+  for (const auto& [v, e] : exps_) d += e;
+  return d;
+}
+
+bool Monomial::operator<(const Monomial& o) const {
+  // Graded-lexicographic: lower total degree first, then factor list.
+  const int da = total_degree();
+  const int db = o.total_degree();
+  if (da != db) return da < db;
+  return exps_ < o.exps_;
+}
+
+std::string Monomial::str() const {
+  if (exps_.empty()) return "1";
+  std::string s;
+  for (const auto& [v, e] : exps_) {
+    if (!s.empty()) s += "*";
+    s += v;
+    if (e != 1) s += "^" + std::to_string(e);
+  }
+  return s;
+}
+
+}  // namespace nrc

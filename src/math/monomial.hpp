@@ -1,0 +1,50 @@
+#pragma once
+// Monomial: a product of named variables raised to positive powers.
+//
+// Monomials key the term map of nrc::Polynomial.  Variables are identified
+// by name; exponents are kept sorted by variable name so that comparison
+// and hashing are canonical.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nrc {
+
+/// Immutable product of variable powers, e.g. {i^2, N^1}.
+/// The empty monomial is the constant 1.
+class Monomial {
+ public:
+  Monomial() = default;
+
+  /// Single variable to the given (strictly positive) power.
+  static Monomial var(const std::string& name, int power = 1);
+
+  /// Exponent of `name` (0 when absent).
+  int exponent(const std::string& name) const;
+
+  /// Product of two monomials (exponents add).
+  Monomial operator*(const Monomial& o) const;
+
+  /// Remove `name` entirely, returning the remaining monomial.
+  Monomial without(const std::string& name) const;
+
+  /// Sum of all exponents.
+  int total_degree() const;
+
+  bool is_constant() const { return exps_.empty(); }
+
+  const std::vector<std::pair<std::string, int>>& factors() const { return exps_; }
+
+  bool operator==(const Monomial& o) const { return exps_ == o.exps_; }
+  bool operator<(const Monomial& o) const;  // total order for std::map
+
+  /// Rendering such as "i^2*N" (constant monomial renders as "1").
+  std::string str() const;
+
+ private:
+  // Sorted by variable name; every exponent strictly positive.
+  std::vector<std::pair<std::string, int>> exps_;
+};
+
+}  // namespace nrc

@@ -1,0 +1,83 @@
+#include "math/rational.hpp"
+
+namespace nrc {
+namespace {
+
+i128 gcd_i128(i128 a, i128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational Rational::from_i128(i128 n, i128 d) {
+  if (d == 0) throw SpecError("Rational: zero denominator");
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  if (n == 0) return Rational();
+  const i128 g = gcd_i128(n, d);
+  n /= g;
+  d /= g;
+  Rational r;
+  r.num_ = narrow_i64(n);
+  r.den_ = narrow_i64(d);
+  return r;
+}
+
+Rational::Rational(i64 n, i64 d) { *this = from_i128(n, d); }
+
+i64 Rational::as_integer() const {
+  if (den_ != 1) throw SolveError("Rational " + str() + " is not an integer");
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return from_i128(checked_add(checked_mul(num_, o.den_), checked_mul(o.num_, den_)),
+                   checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  return from_i128(checked_mul(num_, o.num_), checked_mul(den_, o.den_));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw SpecError("Rational: division by zero");
+  return from_i128(checked_mul(num_, o.den_), checked_mul(den_, o.num_));
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  const i128 lhs = checked_mul(num_, o.den_);
+  const i128 rhs = checked_mul(o.num_, den_);
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+i64 lcm_i64(i64 a, i64 b) {
+  const i64 g = std::gcd(a, b);
+  return checked_mul_i64(a / g, b);
+}
+
+}  // namespace nrc

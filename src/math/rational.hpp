@@ -1,0 +1,72 @@
+#pragma once
+// Exact rational arithmetic on int64 numerator/denominator.
+//
+// Ranking Ehrhart polynomials have small rational coefficients
+// (denominators divide lcm(1..d+1) for nest depth d), so an int64-backed
+// rational with __int128 intermediates is exact for every computation the
+// library performs.  All operations normalize (gcd-reduced, positive
+// denominator) and throw OverflowError if a reduced component leaves the
+// int64 range.
+
+#include <compare>
+#include <numeric>
+#include <string>
+
+#include "support/int128.hpp"
+
+namespace nrc {
+
+/// An exact rational number p/q with q > 0 and gcd(|p|, q) == 1.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+  /// Integer value n.
+  constexpr Rational(i64 n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  /// n / d; throws SpecError when d == 0.
+  Rational(i64 n, i64 d);
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+  /// Integer value; throws SolveError when not an integer.
+  i64 as_integer() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Throws SpecError on division by zero.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const { return num_ == o.num_ && den_ == o.den_; }
+  std::strong_ordering operator<=>(const Rational& o) const;
+
+  long double to_long_double() const {
+    return static_cast<long double>(num_) / static_cast<long double>(den_);
+  }
+  double to_double() const { return static_cast<double>(to_long_double()); }
+
+  /// "p" when integral, "p/q" otherwise.
+  std::string str() const;
+
+  /// Reduce an i128 fraction to a Rational (throws OverflowError if the
+  /// reduced numerator/denominator do not fit in int64).
+  static Rational from_i128(i128 n, i128 d);
+
+ private:
+  i64 num_;
+  i64 den_;
+};
+
+/// Least common multiple of two positive int64 values (checked).
+i64 lcm_i64(i64 a, i64 b);
+
+}  // namespace nrc

@@ -1,0 +1,55 @@
+#pragma once
+// Closed-form polynomial root evaluation over the complex numbers,
+// degrees 1 through 4.
+//
+// The paper (§IV-C) shows that the convenient symbolic root of a level
+// equation may be complex with a zero imaginary part for some pc values,
+// so all evaluation happens in std::complex<long double> ("float
+// functions may return NaN").
+//
+// Branch semantics: each degree exposes a fixed, deterministic family of
+// root branches.  The same branch definitions are used by the *symbolic*
+// formulas emitted for code generation (symbolic/root_formula.*), so a
+// branch index selected numerically at collapse time identifies the same
+// expression in the generated C code.
+//
+//   degree 1 : 1 branch    x = -a0/a1
+//   degree 2 : 2 branches  x = (-a1 ± csqrt(a1² - 4 a2 a0)) / (2 a2)
+//   degree 3 : 3 branches  Cardano, branch k multiplies the principal
+//              cube root by e^{2πik/3}
+//   degree 4 : 12 branches Ferrari; branch = 4·(resolvent Cardano branch)
+//              + quadratic-factor branch in {0..3}
+//
+// A returned root may be non-finite when a formula degenerates (e.g. the
+// Ferrari factorization with q == 0), and in rare degenerate
+// configurations (the w == 0 resolvent branch of a biquadratic) a branch
+// can even yield a finite value that is not a root.  Callers must treat
+// branch values as *candidates*: the runtime verifies every recovered
+// index against the exact integer ranking polynomial and falls back to
+// exact search, so neither failure mode can corrupt a recovery.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace nrc {
+
+using cld = std::complex<long double>;
+
+/// Number of root branches exposed for a given degree (see above).
+int root_branch_count(int degree);
+
+/// Evaluate branch `branch` of the closed-form root of
+///   a[deg]·x^deg + ... + a[1]·x + a[0] = 0,
+/// where coeffs = {a0, a1, ..., a_deg} (low to high).  The leading
+/// coefficient must be non-zero.  Degrees 1..4 only.
+cld root_branch_value(std::span<const cld> coeffs, int branch);
+
+/// All branches, in branch order, for convenience in tests.
+std::vector<cld> all_root_branches(std::span<const cld> coeffs);
+
+/// Principal complex cube root (cpow(z, 1/3) semantics, matching the
+/// generated C code of paper Fig. 7).
+cld principal_cbrt(const cld& z);
+
+}  // namespace nrc

@@ -1,0 +1,65 @@
+#pragma once
+// Affine expressions with integer coefficients.
+//
+// Loop bounds in the handled model (paper Fig. 5) are linear combinations
+// of surrounding iterators and size parameters with integer coefficients.
+// AffineExpr is that representation; it converts losslessly to
+// nrc::Polynomial for the symbolic machinery and evaluates quickly for
+// the runtime.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "math/polynomial.hpp"
+#include "support/int128.hpp"
+
+namespace nrc {
+
+/// Integer-coefficient affine expression: sum(coef_v * v) + constant.
+class AffineExpr {
+ public:
+  /// Zero.
+  AffineExpr() = default;
+  /// Constant c.
+  AffineExpr(i64 c) : cst_(c) {}  // NOLINT(google-explicit-constructor)
+
+  static AffineExpr variable(const std::string& name, i64 coef = 1);
+
+  i64 constant_term() const { return cst_; }
+  i64 coefficient(const std::string& name) const;
+  const std::map<std::string, i64>& coefficients() const { return coefs_; }
+  bool is_constant() const { return coefs_.empty(); }
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr operator-() const;
+  AffineExpr operator*(i64 s) const;
+  AffineExpr& operator+=(const AffineExpr& o) { return *this = *this + o; }
+  AffineExpr& operator-=(const AffineExpr& o) { return *this = *this - o; }
+  bool operator==(const AffineExpr& o) const { return cst_ == o.cst_ && coefs_ == o.coefs_; }
+
+  std::set<std::string> variables() const;
+
+  /// Exact evaluation; throws SpecError when a variable is missing.
+  i64 eval(const std::map<std::string, i64>& vals) const;
+
+  Polynomial to_poly() const;
+
+  /// Rendering such as "i + 2*N - 1".
+  std::string str() const;
+
+ private:
+  std::map<std::string, i64> coefs_;  // no zero coefficients
+  i64 cst_ = 0;
+};
+
+inline AffineExpr operator*(i64 s, const AffineExpr& a) { return a * s; }
+
+namespace aff {
+/// Terse builders:  aff::v("i") + 2 * aff::v("N") - 1
+inline AffineExpr v(const std::string& name) { return AffineExpr::variable(name); }
+inline AffineExpr c(i64 value) { return AffineExpr(value); }
+}  // namespace aff
+
+}  // namespace nrc

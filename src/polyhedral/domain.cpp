@@ -1,0 +1,81 @@
+#include "polyhedral/domain.hpp"
+
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+
+struct Walker {
+  const NestSpec& spec;
+  std::map<std::string, i64> vals;  // params + bound iterators
+  std::vector<i64> idx;
+  const std::function<void(std::span<const i64>)>& fn;
+  bool check_empty = false;
+  bool saw_empty = false;
+
+  void go(int k) {
+    if (k == spec.depth()) {
+      fn(std::span<const i64>(idx.data(), idx.size()));
+      return;
+    }
+    const Loop& l = spec.at(k);
+    const i64 lo = l.lower.eval(vals);
+    const i64 hi = l.upper.eval(vals);
+    if (hi <= lo) saw_empty = true;
+    for (i64 v = lo; v < hi; ++v) {
+      idx[static_cast<size_t>(k)] = v;
+      vals[l.var] = v;
+      go(k + 1);
+    }
+    vals.erase(l.var);
+  }
+};
+
+}  // namespace
+
+void walk_domain(const NestSpec& spec, const ParamMap& params,
+                 const std::function<void(std::span<const i64>)>& fn) {
+  spec.validate();
+  Walker w{spec, params, std::vector<i64>(static_cast<size_t>(spec.depth()), 0), fn};
+  w.go(0);
+}
+
+i64 count_domain_brute(const NestSpec& spec, const ParamMap& params) {
+  i64 n = 0;
+  walk_domain(spec, params, [&](std::span<const i64>) { ++n; });
+  return n;
+}
+
+std::vector<std::vector<i64>> domain_points(const NestSpec& spec, const ParamMap& params) {
+  std::vector<std::vector<i64>> pts;
+  walk_domain(spec, params,
+              [&](std::span<const i64> p) { pts.emplace_back(p.begin(), p.end()); });
+  return pts;
+}
+
+i64 rank_brute(const NestSpec& spec, const ParamMap& params, std::span<const i64> point) {
+  i64 r = 0;
+  i64 found = 0;
+  walk_domain(spec, params, [&](std::span<const i64> p) {
+    if (found != 0) return;
+    ++r;
+    bool eq = true;
+    for (size_t i = 0; i < p.size(); ++i)
+      if (p[i] != point[i]) {
+        eq = false;
+        break;
+      }
+    if (eq) found = r;
+  });
+  return found;
+}
+
+bool has_no_empty_ranges(const NestSpec& spec, const ParamMap& params) {
+  Walker w{spec, params, std::vector<i64>(static_cast<size_t>(spec.depth()), 0),
+           [](std::span<const i64>) {}};
+  w.check_empty = true;
+  w.go(0);
+  return !w.saw_empty;
+}
+
+}  // namespace nrc

@@ -1,0 +1,43 @@
+#include "polyhedral/lexmin.hpp"
+
+namespace nrc {
+
+std::vector<i64> lexmin_point(const NestSpec& spec, const ParamMap& params) {
+  std::map<std::string, i64> vals = params;
+  std::vector<i64> idx(static_cast<size_t>(spec.depth()));
+  for (int k = 0; k < spec.depth(); ++k) {
+    const Loop& l = spec.at(k);
+    idx[static_cast<size_t>(k)] = l.lower.eval(vals);
+    vals[l.var] = idx[static_cast<size_t>(k)];
+  }
+  return idx;
+}
+
+std::vector<i64> lexmax_point(const NestSpec& spec, const ParamMap& params) {
+  std::map<std::string, i64> vals = params;
+  std::vector<i64> idx(static_cast<size_t>(spec.depth()));
+  for (int k = 0; k < spec.depth(); ++k) {
+    const Loop& l = spec.at(k);
+    idx[static_cast<size_t>(k)] = l.upper.eval(vals) - 1;
+    vals[l.var] = idx[static_cast<size_t>(k)];
+  }
+  return idx;
+}
+
+Polynomial substitute_trailing_lexmin(const Polynomial& p, const NestSpec& spec, int k) {
+  Polynomial r = p;
+  for (int q = spec.depth() - 1; q > k; --q) {
+    r = r.substitute(spec.at(q).var, spec.at(q).lower.to_poly());
+  }
+  return r;
+}
+
+Polynomial substitute_trailing_lexmax(const Polynomial& p, const NestSpec& spec, int k) {
+  Polynomial r = p;
+  for (int q = spec.depth() - 1; q > k; --q) {
+    r = r.substitute(spec.at(q).var, spec.at(q).upper.to_poly() - Polynomial(Rational(1)));
+  }
+  return r;
+}
+
+}  // namespace nrc

@@ -1,0 +1,33 @@
+#pragma once
+// Parametric lexicographic extrema (the ISL replacement).
+//
+// In the Fig. 5 model every bound is affine in the *outer* iterators, so
+// the parametric lexicographic minimum of the indices below a prefix is
+// just the chain of lower bounds, each substituted into the next — no
+// integer programming required.  The paper uses ISL for this step
+// (§IV-A: "Parametric lexicographic minimums can be computed using
+// library ISL"); this module provides the closed-form equivalent.
+
+#include <vector>
+
+#include "polyhedral/domain.hpp"
+#include "polyhedral/nest.hpp"
+
+namespace nrc {
+
+/// First (lexicographically minimal) iteration for concrete parameters.
+std::vector<i64> lexmin_point(const NestSpec& spec, const ParamMap& params);
+
+/// Last (lexicographically maximal) iteration for concrete parameters.
+std::vector<i64> lexmax_point(const NestSpec& spec, const ParamMap& params);
+
+/// Substitute loops k+1 .. depth-1 of `spec` by their parametric
+/// lexicographic minima inside polynomial `p`.  The result only mentions
+/// loop variables 0..k (and parameters).  Substitution proceeds from the
+/// innermost loop outward so nested bound references resolve correctly.
+Polynomial substitute_trailing_lexmin(const Polynomial& p, const NestSpec& spec, int k);
+
+/// Same, substituting the parametric lexicographic *maxima* (upper-1).
+Polynomial substitute_trailing_lexmax(const Polynomial& p, const NestSpec& spec, int k);
+
+}  // namespace nrc

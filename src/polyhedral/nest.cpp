@@ -1,0 +1,75 @@
+#include "polyhedral/nest.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace nrc {
+
+NestSpec& NestSpec::param(const std::string& name) {
+  params_.push_back(name);
+  return *this;
+}
+
+NestSpec& NestSpec::loop(const std::string& var, const AffineExpr& lower,
+                         const AffineExpr& upper) {
+  loops_.push_back(Loop{var, lower, upper});
+  return *this;
+}
+
+std::vector<std::string> NestSpec::loop_vars() const {
+  std::vector<std::string> vs;
+  vs.reserve(loops_.size());
+  for (const auto& l : loops_) vs.push_back(l.var);
+  return vs;
+}
+
+NestSpec NestSpec::outer(int c) const {
+  if (c < 1 || c > depth()) throw SpecError("NestSpec::outer: invalid collapse depth");
+  NestSpec s;
+  s.params_ = params_;
+  s.loops_.assign(loops_.begin(), loops_.begin() + c);
+  return s;
+}
+
+void NestSpec::validate() const {
+  if (loops_.empty()) throw SpecError("NestSpec: empty nest");
+
+  std::set<std::string> names(params_.begin(), params_.end());
+  if (names.size() != params_.size()) throw SpecError("NestSpec: duplicate parameter name");
+
+  std::set<std::string> visible = names;
+  for (size_t k = 0; k < loops_.size(); ++k) {
+    const Loop& l = loops_[k];
+    if (l.var.empty()) throw SpecError("NestSpec: empty loop variable name");
+    if (!names.insert(l.var).second)
+      throw SpecError("NestSpec: duplicate name '" + l.var + "'");
+    for (const auto* bound : {&l.lower, &l.upper}) {
+      for (const auto& v : bound->variables()) {
+        if (!visible.count(v))
+          throw SpecError("NestSpec: bound of loop '" + l.var + "' references '" + v +
+                          "', which is not a parameter or an outer iterator");
+      }
+    }
+    visible.insert(l.var);
+  }
+}
+
+std::string NestSpec::str() const {
+  std::string s;
+  if (!params_.empty()) {
+    s += "params:";
+    for (const auto& p : params_) s += " " + p;
+    s += "\n";
+  }
+  std::string indent;
+  for (const auto& l : loops_) {
+    s += indent + "for (" + l.var + " = " + l.lower.str() + "; " + l.var + " < " +
+         l.upper.str() + "; " + l.var + "++)\n";
+    indent += "  ";
+  }
+  return s;
+}
+
+}  // namespace nrc

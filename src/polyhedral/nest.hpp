@@ -1,0 +1,66 @@
+#pragma once
+// Loop-nest specification (the IR of the collapser).
+//
+// Models exactly the class of paper Fig. 5: perfectly nested loops
+//
+//   for (i0 = l0; i0 < u0; i0++)
+//     for (i1 = l1(i0); i1 < u1(i0); i1++)
+//       ...
+//
+// where every bound is an integer-coefficient affine expression in the
+// *outer* iterators and the size parameters.  Upper bounds are exclusive,
+// matching C for-loops.  Loops step by +1 (the model's "one unique
+// iterator" with standard incrementation).
+
+#include <string>
+#include <vector>
+
+#include "polyhedral/affine.hpp"
+
+namespace nrc {
+
+/// One loop level: `for (var = lower; var < upper; ++var)`.
+struct Loop {
+  std::string var;
+  AffineExpr lower;
+  AffineExpr upper;  // exclusive
+};
+
+/// A perfectly nested affine loop nest plus its symbolic parameters.
+/// Build with the fluent API, then consumers call validate() (collapse()
+/// does so automatically).
+class NestSpec {
+ public:
+  NestSpec() = default;
+
+  /// Declare a symbolic size parameter (e.g. "N").
+  NestSpec& param(const std::string& name);
+
+  /// Append an innermost loop level.  `upper` is exclusive.
+  NestSpec& loop(const std::string& var, const AffineExpr& lower, const AffineExpr& upper);
+
+  int depth() const { return static_cast<int>(loops_.size()); }
+  const Loop& at(int k) const { return loops_[static_cast<size_t>(k)]; }
+  const std::vector<Loop>& loops() const { return loops_; }
+  const std::vector<std::string>& params() const { return params_; }
+
+  /// Loop variable names, outermost first.
+  std::vector<std::string> loop_vars() const;
+
+  /// The sub-nest made of the outermost `c` loops (the loops to collapse).
+  NestSpec outer(int c) const;
+
+  /// Structural validation per the Fig. 5 model; throws SpecError:
+  ///  * at least one loop, unique loop/parameter names,
+  ///  * every bound references only parameters and *outer* iterators.
+  void validate() const;
+
+  /// Multi-line rendering of the nest (diagnostics / codegen headers).
+  std::string str() const;
+
+ private:
+  std::vector<std::string> params_;
+  std::vector<Loop> loops_;
+};
+
+}  // namespace nrc

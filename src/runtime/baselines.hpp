@@ -1,0 +1,51 @@
+#pragma once
+// Baseline parallelization helpers and timing utilities shared by the
+// kernels and the benchmark harnesses.
+//
+// The paper's baselines (§II, §VII) parallelize the *outermost* loop of
+// the original nest with schedule(static) or schedule(dynamic); the
+// kernels implement those directly with OpenMP pragmas.  This header
+// provides the small shared pieces: a wall-clock timer and a
+// median-of-repetitions measurement loop.
+
+#include <omp.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace nrc {
+
+/// Seconds of wall-clock time for one call of `fn`.
+template <class Fn>
+double time_once(Fn&& fn) {
+  const double t0 = omp_get_wtime();
+  fn();
+  return omp_get_wtime() - t0;
+}
+
+/// Median of `reps` timed runs after `warmup` untimed runs.
+template <class Fn>
+double time_median(Fn&& fn, int reps = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> ts;
+  ts.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) ts.push_back(time_once(fn));
+  std::sort(ts.begin(), ts.end());
+  return ts[ts.size() / 2];
+}
+
+/// Minimum of `reps` timed runs after `warmup` untimed runs.
+/// On shared/virtualized hosts individual runs are regularly disturbed
+/// by vCPU interference that no schedule can compensate; the minimum is
+/// the standard robust estimator of the undisturbed execution time and
+/// is what the figure harnesses report.
+template <class Fn>
+double time_best(Fn&& fn, int reps = 5, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = time_once(fn);
+  for (int i = 1; i < reps; ++i) best = std::min(best, time_once(fn));
+  return best;
+}
+
+}  // namespace nrc

@@ -1,0 +1,190 @@
+#pragma once
+// OpenMP execution schemes for collapsed loops (paper §V).
+//
+// All schemes iterate pc = 1..trip_count over the collapsed single loop
+// and call `body(idx)` with the recovered original indices.  They differ
+// in *when* the costly closed-form recovery runs:
+//
+//   collapsed_for_per_iteration  — recovery at every iteration (Fig. 3);
+//   collapsed_for_per_thread     — one contiguous block per thread,
+//                                  recovery once per thread, then odometer
+//                                  increments (Fig. 4 / §V first scheme);
+//   collapsed_for_chunked        — schedule(static, CHUNK) semantics,
+//                                  recovery once per chunk (§V second
+//                                  scheme);
+//   collapsed_serial_sim         — serial run performing `n_chunks`
+//                                  recoveries (the measurement protocol of
+//                                  Fig. 10: "root evaluations are performed
+//                                  12 times, to simulate ... 12 threads").
+//
+// Body contract: void(std::span<const i64> idx) where idx.size() ==
+// cn.depth().  Bodies must be safe to run concurrently on distinct
+// iterations (the collapsed loops carry no dependence by assumption).
+
+#include <omp.h>
+
+#include <algorithm>
+#include <span>
+
+#include "core/collapse.hpp"
+
+namespace nrc {
+
+struct RunConfig {
+  int threads = 0;  ///< 0: use the OpenMP default
+};
+
+/// Default chunk size for the §V chunked scheme: small enough that the
+/// round-robin deal keeps all threads co-located in the iteration space
+/// (shared-cache streaming, like dynamic scheduling achieves), large
+/// enough to amortize the per-chunk recovery.
+inline i64 default_chunk(i64 total, int threads) {
+  const i64 c = total / (static_cast<i64>(threads > 0 ? threads : 1) * 32);
+  return std::clamp<i64>(c, 1, 4096);
+}
+
+enum class OmpSchedule { Static, Dynamic };
+
+/// Naive scheme: full closed-form recovery at every iteration.
+template <class Body>
+void collapsed_for_per_iteration(const CollapsedEval& cn, Body&& body,
+                                 OmpSchedule sched = OmpSchedule::Static,
+                                 RunConfig cfg = {}) {
+  const i64 total = cn.trip_count();
+  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+  if (sched == OmpSchedule::Static) {
+#pragma omp parallel for schedule(static) num_threads(nt)
+    for (i64 pc = 1; pc <= total; ++pc) {
+      i64 idx[kMaxDepth];
+      cn.recover(pc, {idx, static_cast<size_t>(cn.depth())});
+      body(std::span<const i64>(idx, static_cast<size_t>(cn.depth())));
+    }
+  } else {
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt)
+    for (i64 pc = 1; pc <= total; ++pc) {
+      i64 idx[kMaxDepth];
+      cn.recover(pc, {idx, static_cast<size_t>(cn.depth())});
+      body(std::span<const i64>(idx, static_cast<size_t>(cn.depth())));
+    }
+  }
+}
+
+/// §V scheme with one costly recovery per thread: each thread receives a
+/// contiguous block (schedule(static) semantics), recovers its first
+/// iteration, and advances by odometer increments.
+template <class Body>
+void collapsed_for_per_thread(const CollapsedEval& cn, Body&& body, RunConfig cfg = {}) {
+  const i64 total = cn.trip_count();
+  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+  const size_t d = static_cast<size_t>(cn.depth());
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const i64 np = omp_get_num_threads();
+    const i64 base = total / np;
+    const i64 rem = total % np;
+    const i64 lo = 1 + t * base + std::min<i64>(t, rem);
+    const i64 cnt = base + (t < rem ? 1 : 0);
+    if (cnt > 0) {
+      i64 idx[kMaxDepth];
+      cn.recover(lo, {idx, d});
+      for (i64 pc = lo; pc < lo + cnt; ++pc) {
+        body(std::span<const i64>(idx, d));
+        if (pc + 1 < lo + cnt) cn.increment({idx, d});
+      }
+    }
+  }
+}
+
+/// §V scheme with schedule(static, chunk) semantics: chunks are dealt to
+/// threads round-robin; the costly recovery runs once per chunk.
+template <class Body>
+void collapsed_for_chunked(const CollapsedEval& cn, i64 chunk, Body&& body,
+                           RunConfig cfg = {}) {
+  if (chunk <= 0) {
+    collapsed_for_per_thread(cn, static_cast<Body&&>(body), cfg);
+    return;
+  }
+  const i64 total = cn.trip_count();
+  const i64 nchunks = (total + chunk - 1) / chunk;
+  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+  const size_t d = static_cast<size_t>(cn.depth());
+#pragma omp parallel num_threads(nt)
+  {
+    const i64 t = omp_get_thread_num();
+    const i64 np = omp_get_num_threads();
+    i64 idx[kMaxDepth];
+    for (i64 q = t; q < nchunks; q += np) {
+      const i64 lo = 1 + q * chunk;
+      const i64 hi = std::min<i64>(total, (q + 1) * chunk);
+      cn.recover(lo, {idx, d});
+      for (i64 pc = lo; pc <= hi; ++pc) {
+        body(std::span<const i64>(idx, d));
+        if (pc < hi) cn.increment({idx, d});
+      }
+    }
+  }
+}
+
+/// Task-based execution: the collapsed range is cut into grains, each
+/// grain becomes an OpenMP task (one costly recovery per grain, odometer
+/// inside).  Combines the collapsed loop's perfect count balance with
+/// dynamic placement — the robust choice on machines with heterogeneous
+/// or interference-prone cores.  grainsize <= 0 picks default_chunk.
+template <class Body>
+void collapsed_for_taskloop(const CollapsedEval& cn, i64 grainsize, Body&& body,
+                            RunConfig cfg = {}) {
+  const i64 total = cn.trip_count();
+  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+  const i64 grain = grainsize > 0 ? grainsize : default_chunk(total, nt);
+  const i64 ntasks = (total + grain - 1) / grain;
+  const size_t d = static_cast<size_t>(cn.depth());
+#pragma omp parallel num_threads(nt)
+#pragma omp single
+  {
+#pragma omp taskloop grainsize(1)
+    for (i64 q = 0; q < ntasks; ++q) {
+      const i64 lo = 1 + q * grain;
+      const i64 hi = std::min<i64>(total, (q + 1) * grain);
+      i64 idx[kMaxDepth];
+      cn.recover(lo, {idx, d});
+      for (i64 pc = lo; pc <= hi; ++pc) {
+        body(std::span<const i64>(idx, d));
+        if (pc < hi) cn.increment({idx, d});
+      }
+    }
+  }
+}
+
+/// Serial execution of the collapsed loop performing `n_chunks` costly
+/// recoveries (evenly spaced), reproducing the Fig. 10 overhead
+/// measurement protocol.  n_chunks <= 1 recovers once at pc = 1.
+template <class Body>
+void collapsed_serial_sim(const CollapsedEval& cn, int n_chunks, Body&& body) {
+  const i64 total = cn.trip_count();
+  if (n_chunks < 1) n_chunks = 1;
+  const size_t d = static_cast<size_t>(cn.depth());
+  const i64 base = total / n_chunks;
+  const i64 rem = total % n_chunks;
+  i64 lo = 1;
+  i64 idx[kMaxDepth];
+  for (int q = 0; q < n_chunks; ++q) {
+    const i64 cnt = base + (q < rem ? 1 : 0);
+    if (cnt <= 0) continue;
+    cn.recover(lo, {idx, d});
+    for (i64 pc = lo; pc < lo + cnt; ++pc) {
+      body(std::span<const i64>(idx, d));
+      if (pc + 1 < lo + cnt) cn.increment({idx, d});
+    }
+    lo += cnt;
+  }
+}
+
+/// Plain serial execution of the *original* nest order via the odometer
+/// (reference executor; used by kernels' serial baselines when convenient).
+template <class Body>
+void collapsed_serial(const CollapsedEval& cn, Body&& body) {
+  collapsed_serial_sim(cn, 1, static_cast<Body&&>(body));
+}
+
+}  // namespace nrc

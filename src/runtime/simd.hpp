@@ -1,0 +1,63 @@
+#pragma once
+// Vectorization-friendly block scheme (paper §VI-A).
+//
+// Per thread: recover the first tuple once, then repeatedly materialize
+// `vlen` consecutive index tuples by odometer increments into a
+// structure-of-arrays block and hand the whole block to the body, which
+// can be an `omp simd` loop over the lanes.
+//
+// Block body contract:
+//   void(int lanes, const i64* const* cols)
+// where cols[k][lane] is index k of lane `lane` (k < depth, lane < lanes).
+
+#include <omp.h>
+
+#include <algorithm>
+#include <span>
+
+#include "core/collapse.hpp"
+
+namespace nrc {
+
+inline constexpr int kMaxSimdLanes = 256;
+
+template <class BlockBody>
+void collapsed_for_simd_blocks(const CollapsedEval& cn, int vlen, BlockBody&& body,
+                               int threads = 0) {
+  if (vlen < 1 || vlen > kMaxSimdLanes)
+    throw SpecError("collapsed_for_simd_blocks: vlen out of range");
+  const i64 total = cn.trip_count();
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+  const int d = cn.depth();
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const i64 np = omp_get_num_threads();
+    const i64 base = total / np;
+    const i64 rem = total % np;
+    const i64 lo = 1 + t * base + std::min<i64>(t, rem);
+    const i64 cnt = base + (t < rem ? 1 : 0);
+    if (cnt > 0) {
+      i64 idx[kMaxDepth];
+      cn.recover(lo, {idx, static_cast<size_t>(d)});
+
+      i64 soa_store[kMaxDepth][kMaxSimdLanes];
+      const i64* cols[kMaxDepth];
+      for (int k = 0; k < d; ++k) cols[k] = soa_store[k];
+
+      i64 pc = lo;
+      const i64 end = lo + cnt;  // exclusive
+      while (pc < end) {
+        const int lanes = static_cast<int>(std::min<i64>(vlen, end - pc));
+        for (int lane = 0; lane < lanes; ++lane) {
+          for (int k = 0; k < d; ++k) soa_store[k][lane] = idx[k];
+          if (pc + lane + 1 < end) cn.increment({idx, static_cast<size_t>(d)});
+        }
+        body(lanes, cols);
+        pc += lanes;
+      }
+    }
+  }
+}
+
+}  // namespace nrc

@@ -1,0 +1,69 @@
+#include "runtime/thread_stats.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace nrc {
+
+i64 ThreadLoad::max_load() const {
+  return iterations.empty() ? 0 : *std::max_element(iterations.begin(), iterations.end());
+}
+
+i64 ThreadLoad::min_load() const {
+  return iterations.empty() ? 0 : *std::min_element(iterations.begin(), iterations.end());
+}
+
+double ThreadLoad::mean_load() const {
+  if (iterations.empty()) return 0.0;
+  i64 s = 0;
+  for (i64 v : iterations) s += v;
+  return static_cast<double>(s) / static_cast<double>(iterations.size());
+}
+
+double ThreadLoad::imbalance() const {
+  const double m = mean_load();
+  if (m <= 0.0) return 0.0;
+  return static_cast<double>(max_load()) / m - 1.0;
+}
+
+ThreadLoad outer_static_load(const NestSpec& spec, const ParamMap& params, int threads) {
+  if (threads < 1) throw SpecError("outer_static_load: threads must be >= 1");
+
+  // Weight of each outermost value = number of inner iterations under it.
+  std::map<i64, i64> row_weight;
+  walk_domain(spec, params, [&](std::span<const i64> p) { ++row_weight[p[0]]; });
+
+  std::vector<i64> outer_vals;
+  outer_vals.reserve(row_weight.size());
+  for (const auto& [v, w] : row_weight) outer_vals.push_back(v);
+
+  // schedule(static): contiguous slices of the outer range, one per thread.
+  const i64 n = static_cast<i64>(outer_vals.size());
+  const i64 base = n / threads;
+  const i64 rem = n % threads;
+  ThreadLoad load;
+  load.iterations.assign(static_cast<size_t>(threads), 0);
+  i64 at = 0;
+  for (int t = 0; t < threads; ++t) {
+    const i64 cnt = base + (t < rem ? 1 : 0);
+    for (i64 q = 0; q < cnt; ++q)
+      load.iterations[static_cast<size_t>(t)] +=
+          row_weight[outer_vals[static_cast<size_t>(at++)]];
+  }
+  return load;
+}
+
+ThreadLoad collapsed_static_load(i64 total, int threads) {
+  if (threads < 1) throw SpecError("collapsed_static_load: threads must be >= 1");
+  ThreadLoad load;
+  load.iterations.assign(static_cast<size_t>(threads), 0);
+  const i64 base = total / threads;
+  const i64 rem = total % threads;
+  for (int t = 0; t < threads; ++t)
+    load.iterations[static_cast<size_t>(t)] = base + (t < rem ? 1 : 0);
+  return load;
+}
+
+}  // namespace nrc

@@ -1,0 +1,35 @@
+#pragma once
+// Load-balance accounting (reproduces the phenomenon of paper Fig. 2).
+//
+// Computes, analytically from the iteration domain, how many innermost
+// iterations each thread executes under (a) outer-loop schedule(static)
+// parallelization and (b) collapsed schedule(static) parallelization,
+// plus summary imbalance metrics.
+
+#include <vector>
+
+#include "polyhedral/domain.hpp"
+
+namespace nrc {
+
+/// Per-thread iteration counts and imbalance summary.
+struct ThreadLoad {
+  std::vector<i64> iterations;
+
+  i64 max_load() const;
+  i64 min_load() const;
+  double mean_load() const;
+  /// max/mean - 1: 0 means perfectly balanced.  The parallel makespan is
+  /// proportional to max, so this is the fraction of time wasted.
+  double imbalance() const;
+};
+
+/// Iteration counts per thread when the *outermost* loop is split in
+/// contiguous slices (OpenMP schedule(static)) among `threads` threads.
+ThreadLoad outer_static_load(const NestSpec& spec, const ParamMap& params, int threads);
+
+/// Iteration counts per thread when the collapsed loop of `total`
+/// iterations is split contiguously (always balanced to within 1).
+ThreadLoad collapsed_static_load(i64 total, int threads);
+
+}  // namespace nrc

@@ -1,0 +1,42 @@
+#pragma once
+// GPU warp-execution simulation (paper §VI-B).
+//
+// On a GPU one distributes *consecutive* collapsed iterations across the
+// W threads of a warp for memory coalescing; each thread then visits
+// iterations spaced W apart, performing the costly recovery only once
+// and advancing by W odometer increments per step.  This module runs the
+// same code path on the CPU: lane `l` handles pc = l+1, l+1+W, l+1+2W...
+// (lanes are mapped onto OpenMP threads).  It exists so the §VI-B scheme
+// is exercised and benchmarkable without GPU hardware.
+
+#include <omp.h>
+
+#include <span>
+
+#include "core/collapse.hpp"
+
+namespace nrc {
+
+template <class Body>
+void collapsed_for_warp_sim(const CollapsedEval& cn, int warp_size, Body&& body,
+                            int threads = 0) {
+  if (warp_size < 1) throw SpecError("collapsed_for_warp_sim: warp_size must be >= 1");
+  const i64 total = cn.trip_count();
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+  const size_t d = static_cast<size_t>(cn.depth());
+  const i64 W = warp_size;
+#pragma omp parallel for schedule(static) num_threads(nt)
+  for (i64 lane = 0; lane < W; ++lane) {
+    if (lane + 1 > total) continue;
+    i64 idx[kMaxDepth];
+    cn.recover(lane + 1, {idx, d});  // costly recovery: once per lane
+    for (i64 pc = lane + 1; pc <= total; pc += W) {
+      body(std::span<const i64>(idx, d));
+      // Advance W increments to the lane's next iteration.
+      for (i64 s = 0; s < W && pc + s + 1 <= total; ++s)
+        if (!cn.increment({idx, d})) break;
+    }
+  }
+}
+
+}  // namespace nrc

@@ -1,0 +1,8 @@
+// Intentionally almost empty: the error hierarchy is header-only, but we
+// anchor the vtables here so the types have a single home TU.
+#include "support/error.hpp"
+
+namespace nrc {
+// Anchor (nothing to define; keeping the TU ensures ODR-friendly linkage
+// of the inline class hierarchy and provides a place for future helpers).
+}  // namespace nrc

@@ -1,0 +1,33 @@
+#include "support/int128.hpp"
+
+#include <algorithm>
+
+namespace nrc {
+
+std::string to_string_i128(i128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  // Convert through unsigned so that INT128_MIN does not overflow on negate.
+  unsigned __int128 u =
+      neg ? static_cast<unsigned __int128>(-(v + 1)) + 1 : static_cast<unsigned __int128>(v);
+  std::string s;
+  while (u > 0) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) s.push_back('-');
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+i128 ipow_checked(i128 base, unsigned exp) {
+  i128 r = 1;
+  while (exp > 0) {
+    if (exp & 1u) r = checked_mul(r, base);
+    exp >>= 1u;
+    if (exp > 0) base = checked_mul(base, base);
+  }
+  return r;
+}
+
+}  // namespace nrc

@@ -1,0 +1,102 @@
+#include "symbolic/compile.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+constexpr long double kPi = 3.14159265358979323846264338327950288L;
+}
+
+CompiledExpr::CompiledExpr(const Expr& e, std::span<const std::string> order) {
+  if (e.empty()) return;
+  std::map<const ExprNode*, int> memo;
+
+  // Post-order emission with common-subexpression sharing by node pointer.
+  auto emit = [&](auto&& self, const ExprPtr& n) -> int {
+    auto it = memo.find(n.get());
+    if (it != memo.end()) return it->second;
+    Ins ins;
+    ins.op = n->op;
+    switch (n->op) {
+      case ExprOp::Const:
+        ins.cval = cld{static_cast<long double>(n->cval.to_long_double()), 0.0L};
+        break;
+      case ExprOp::Cis: {
+        const long double a =
+            2.0L * kPi * static_cast<long double>(n->cis_k) / static_cast<long double>(n->cis_n);
+        ins.cval = cld{std::cos(a), std::sin(a)};
+        break;
+      }
+      case ExprOp::Poly:
+        ins.poly = CompiledPoly(n->poly, order);
+        break;
+      case ExprOp::Neg:
+      case ExprOp::Sqrt:
+      case ExprOp::Cbrt:
+        ins.a = self(self, n->a);
+        break;
+      default:  // binary ops
+        ins.a = self(self, n->a);
+        ins.b = self(self, n->b);
+        break;
+    }
+    const int slot = static_cast<int>(code_.size());
+    code_.push_back(std::move(ins));
+    memo.emplace(n.get(), slot);
+    return slot;
+  };
+  emit(emit, e.ptr());
+}
+
+cld CompiledExpr::eval(std::span<const i64> point) const {
+  if (code_.empty()) throw SolveError("CompiledExpr::eval on empty expression");
+
+  // Polynomial leaves take long double points; convert once.
+  // The conversion is exact for |v| < 2^63 in long double (64-bit mantissa).
+  long double pt_ld[32];
+  const size_t npt = point.size() < 32 ? point.size() : 32;
+  for (size_t i = 0; i < npt; ++i) pt_ld[i] = static_cast<long double>(point[i]);
+
+  std::vector<cld> vals(code_.size());
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const Ins& ins = code_[i];
+    switch (ins.op) {
+      case ExprOp::Const:
+      case ExprOp::Cis:
+        vals[i] = ins.cval;
+        break;
+      case ExprOp::Poly:
+        vals[i] = cld{ins.poly.eval_ld({pt_ld, npt}), 0.0L};
+        break;
+      case ExprOp::Add:
+        vals[i] = vals[static_cast<size_t>(ins.a)] + vals[static_cast<size_t>(ins.b)];
+        break;
+      case ExprOp::Sub:
+        vals[i] = vals[static_cast<size_t>(ins.a)] - vals[static_cast<size_t>(ins.b)];
+        break;
+      case ExprOp::Mul:
+        vals[i] = vals[static_cast<size_t>(ins.a)] * vals[static_cast<size_t>(ins.b)];
+        break;
+      case ExprOp::Div:
+        vals[i] = vals[static_cast<size_t>(ins.a)] / vals[static_cast<size_t>(ins.b)];
+        break;
+      case ExprOp::Neg:
+        vals[i] = -vals[static_cast<size_t>(ins.a)];
+        break;
+      case ExprOp::Sqrt:
+        vals[i] = std::sqrt(vals[static_cast<size_t>(ins.a)]);
+        break;
+      case ExprOp::Cbrt: {
+        const cld z = vals[static_cast<size_t>(ins.a)];
+        vals[i] = (z == cld{0.0L, 0.0L}) ? cld{0.0L, 0.0L} : std::pow(z, cld{1.0L / 3.0L, 0.0L});
+        break;
+      }
+    }
+  }
+  return vals.back();
+}
+
+}  // namespace nrc

@@ -1,0 +1,101 @@
+#include "symbolic/print_c.hpp"
+
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+
+std::string var_ref(const std::string& name, const CPrintOptions& opt, bool cast) {
+  auto it = opt.rename.find(name);
+  const std::string& id = it == opt.rename.end() ? name : it->second;
+  if (cast && !opt.var_cast.empty()) return opt.var_cast + id;
+  return id;
+}
+
+std::string monomial_c(const Monomial& m, const CPrintOptions& opt, bool cast) {
+  std::string s;
+  for (const auto& [v, e] : m.factors()) {
+    for (int k = 0; k < e; ++k) {
+      if (!s.empty()) s += "*";
+      s += var_ref(v, opt, cast);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string print_poly_c(const Polynomial& p, const CPrintOptions& opt, bool integer_arith) {
+  if (p.is_zero()) return "0";
+  const i64 den = p.denominator_lcm();
+  std::string body;
+  for (auto it = p.terms().rbegin(); it != p.terms().rend(); ++it) {
+    const auto& [m, c] = *it;
+    // Scaled integer coefficient over the common denominator.
+    const i64 num = c.num() * (den / c.den());
+    i64 shown = num;
+    if (body.empty()) {
+      if (num < 0) {
+        body += "-";
+        shown = -num;
+      }
+    } else {
+      body += num >= 0 ? " + " : " - ";
+      if (num < 0) shown = -num;
+    }
+    const std::string mono = monomial_c(m, opt, /*cast=*/!integer_arith);
+    if (m.is_constant()) {
+      body += std::to_string(shown);
+    } else if (shown == 1) {
+      body += mono;
+    } else {
+      body += std::to_string(shown) + "*" + mono;
+    }
+  }
+  if (den == 1) return "(" + body + ")";
+  if (integer_arith) return "((" + body + ") / " + std::to_string(den) + ")";
+  return "((" + body + ") / " + std::to_string(den) + ".0)";
+}
+
+namespace {
+
+std::string render(const ExprPtr& n, const CPrintOptions& opt) {
+  if (!n) throw SolveError("print_c: empty expression");
+  switch (n->op) {
+    case ExprOp::Const: {
+      const Rational& c = n->cval;
+      if (c.is_integer()) {
+        return c.num() < 0 ? "(" + std::to_string(c.num()) + ")" : std::to_string(c.num());
+      }
+      return "(" + std::to_string(c.num()) + ".0/" + std::to_string(c.den()) + ".0)";
+    }
+    case ExprOp::Cis:
+      // e^{2*pi*I*k/n}; only meaningful in complex mode.
+      return "cexp(2.0*M_PI*I*" + std::to_string(n->cis_k) + ".0/" + std::to_string(n->cis_n) +
+             ".0)";
+    case ExprOp::Poly:
+      return print_poly_c(n->poly, opt);
+    case ExprOp::Add:
+      return "(" + render(n->a, opt) + " + " + render(n->b, opt) + ")";
+    case ExprOp::Sub:
+      return "(" + render(n->a, opt) + " - " + render(n->b, opt) + ")";
+    case ExprOp::Mul:
+      return "(" + render(n->a, opt) + " * " + render(n->b, opt) + ")";
+    case ExprOp::Div:
+      return "(" + render(n->a, opt) + " / " + render(n->b, opt) + ")";
+    case ExprOp::Neg:
+      return "(-" + render(n->a, opt) + ")";
+    case ExprOp::Sqrt:
+      return (opt.complex_mode ? "csqrt(" : "sqrt(") + render(n->a, opt) + ")";
+    case ExprOp::Cbrt:
+      if (opt.complex_mode) return "cpow(" + render(n->a, opt) + ", 1.0/3.0)";
+      return "cbrt(" + render(n->a, opt) + ")";
+  }
+  throw SolveError("print_c: unknown op");
+}
+
+}  // namespace
+
+std::string print_c(const Expr& e, const CPrintOptions& opt) { return render(e.ptr(), opt); }
+
+}  // namespace nrc

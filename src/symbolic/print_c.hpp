@@ -1,0 +1,38 @@
+#pragma once
+// C source rendering of symbolic expressions.
+//
+// Reproduces the style of the paper's generated code: plain sqrt/floor
+// for degree-2 recoveries (Fig. 3) and C99 complex csqrt/cpow/creal for
+// degree >= 3 (Fig. 7), with (double) casts on the integer loop
+// variables.
+
+#include <map>
+#include <string>
+
+#include "symbolic/expr.hpp"
+
+namespace nrc {
+
+struct CPrintOptions {
+  /// Use C99 _Complex math (csqrt/cpow/cexp); otherwise real sqrt/cbrt.
+  bool complex_mode = false;
+  /// Cast inserted before each integer variable occurrence, e.g. "(double)".
+  std::string var_cast = "(double)";
+  /// Variable renamings (library name -> C identifier).
+  std::map<std::string, std::string> rename;
+};
+
+/// Render `e` as a C expression string (no trailing semicolon).
+std::string print_c(const Expr& e, const CPrintOptions& opt = {});
+
+/// Render a polynomial as a C expression.  Rational coefficients are
+/// emitted over the polynomial's common denominator so the expression
+/// stays in integer arithmetic until a final division:
+///   (2*i*N + 2*j - i*i - 3*i) / 2   -- with casts per CPrintOptions.
+/// When `integer_arith` is true the cast is suppressed and the division
+/// uses C integer division (exact for integer-valued polynomials such as
+/// trip counts).
+std::string print_poly_c(const Polynomial& p, const CPrintOptions& opt = {},
+                         bool integer_arith = false);
+
+}  // namespace nrc

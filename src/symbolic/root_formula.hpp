@@ -1,0 +1,24 @@
+#pragma once
+// Symbolic closed-form roots of polynomial equations, degrees 1..4.
+//
+// Given the coefficients of a level equation (polynomials in the prefix
+// indices, the parameters and pc), build the expression tree of one root
+// branch.  Branch indices follow exactly the numbering of math/roots.hpp
+// so that a branch validated numerically identifies the same formula in
+// generated code.
+
+#include <span>
+
+#include "symbolic/expr.hpp"
+
+namespace nrc {
+
+/// Root branch of a[deg]·x^deg + ... + a[0] = 0 as a symbolic expression.
+/// `coeffs` = {a0 .. a_deg} (low to high), degree 1..4.  Throws
+/// DegreeError for other degrees, SolveError for invalid branches.
+Expr root_branch_expr(std::span<const Expr> coeffs, int branch);
+
+/// Convenience overload taking coefficient polynomials.
+Expr root_branch_expr(std::span<const Polynomial> coeffs, int branch);
+
+}  // namespace nrc

@@ -1,0 +1,84 @@
+#include "viz/ascii_domain.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nrc::viz {
+namespace {
+
+char thread_glyph(i64 t) {
+  if (t < 10) return static_cast<char>('0' + t);
+  if (t < 36) return static_cast<char>('a' + (t - 10));
+  return '*';
+}
+
+}  // namespace
+
+std::string render_domain(const NestSpec& spec, const ParamMap& params,
+                          Assignment assignment, const RenderOptions& opt) {
+  if (spec.depth() != 2)
+    throw SpecError("render_domain: only depth-2 nests can be drawn");
+  if (opt.threads < 1) throw SpecError("render_domain: threads must be >= 1");
+
+  const auto pts = domain_points(spec, params);
+  if (pts.empty()) return "(empty domain)\n";
+  if (static_cast<int>(pts.size()) > opt.max_cells)
+    throw SpecError("render_domain: domain too large to draw (" +
+                    std::to_string(pts.size()) + " points)");
+
+  i64 imin = pts.front()[0], imax = pts.front()[0];
+  i64 jmin = pts.front()[1], jmax = pts.front()[1];
+  for (const auto& p : pts) {
+    imin = std::min(imin, p[0]);
+    imax = std::max(imax, p[0]);
+    jmin = std::min(jmin, p[1]);
+    jmax = std::max(jmax, p[1]);
+  }
+
+  // Owner of each point under the requested schedule.
+  std::map<std::pair<i64, i64>, i64> owner;
+  if (assignment == Assignment::CollapsedStatic) {
+    const i64 total = static_cast<i64>(pts.size());
+    const i64 base = total / opt.threads;
+    const i64 rem = total % opt.threads;
+    i64 at = 0;
+    for (i64 t = 0; t < opt.threads; ++t) {
+      const i64 cnt = base + (t < rem ? 1 : 0);
+      for (i64 q = 0; q < cnt; ++q, ++at)
+        owner[{pts[static_cast<size_t>(at)][0], pts[static_cast<size_t>(at)][1]}] = t;
+    }
+  } else {
+    // Contiguous slices of the distinct outer values (schedule(static)).
+    std::vector<i64> outers;
+    for (const auto& p : pts)
+      if (outers.empty() || outers.back() != p[0]) outers.push_back(p[0]);
+    std::map<i64, i64> row_owner;
+    const i64 n = static_cast<i64>(outers.size());
+    const i64 base = n / opt.threads;
+    const i64 rem = n % opt.threads;
+    i64 at = 0;
+    for (i64 t = 0; t < opt.threads; ++t) {
+      const i64 cnt = base + (t < rem ? 1 : 0);
+      for (i64 q = 0; q < cnt; ++q) row_owner[outers[static_cast<size_t>(at++)]] = t;
+    }
+    for (const auto& p : pts) owner[{p[0], p[1]}] = row_owner[p[0]];
+  }
+
+  std::string out;
+  out += "rows: " + spec.at(0).var + " = " + std::to_string(imin) + ".." +
+         std::to_string(imax) + ", cols: " + spec.at(1).var + " = " +
+         std::to_string(jmin) + ".." + std::to_string(jmax) + "; glyph = thread id\n";
+  for (i64 i = imin; i <= imax; ++i) {
+    for (i64 j = jmin; j <= jmax; ++j) {
+      auto it = owner.find({i, j});
+      out += it == owner.end() ? opt.empty : thread_glyph(it->second);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nrc::viz

@@ -1,0 +1,34 @@
+#pragma once
+// ASCII rendering of 2-D iteration domains and their thread assignment —
+// the textual form of the paper's Fig. 2 ("unbalanced distribution of
+// iterations among 5 threads of the correlation iteration domain").
+//
+// Each cell of the picture is one (outer, inner) iteration; the glyph is
+// the digit/letter of the thread that executes it under the chosen
+// schedule, so the skew of outer-static assignment versus the level
+// stripes of collapsed assignment is visible at a glance.
+
+#include <string>
+
+#include "core/collapse.hpp"
+#include "polyhedral/domain.hpp"
+
+namespace nrc::viz {
+
+enum class Assignment {
+  OuterStatic,      ///< contiguous slices of the outermost loop
+  CollapsedStatic,  ///< contiguous rank blocks of the collapsed loop
+};
+
+struct RenderOptions {
+  int threads = 5;        ///< paper Fig. 2 uses 5
+  int max_cells = 4096;   ///< refuse to render silly sizes
+  char empty = '.';       ///< glyph for points outside the domain
+};
+
+/// Render a depth-2 nest's domain with per-thread ownership glyphs.
+/// Throws SpecError for nests of other depths or oversized domains.
+std::string render_domain(const NestSpec& spec, const ParamMap& params,
+                          Assignment assignment, const RenderOptions& opt = {});
+
+}  // namespace nrc::viz

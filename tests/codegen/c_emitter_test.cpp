@@ -1,0 +1,167 @@
+// Golden-structure tests for the generated C code (paper Figs 3, 4, 7).
+#include "codegen/c_emitter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nrc {
+namespace {
+
+NestProgram correlation_prog() {
+  return parse_nest_program(R"(
+name correlation
+params N
+array double a[N][N]
+array double b[N][N]
+array double c[N][N]
+loop i = 0 .. N-1
+loop j = i+1 .. N
+collapse 2
+body {
+  for (long k = 0; k < N; k++)
+    a[i][j] += b[k][i] * c[k][j];
+  a[j][i] = a[i][j];
+}
+)");
+}
+
+NestProgram fig6_prog() {
+  return parse_nest_program(R"(
+name fig6
+params N
+array double s[N]
+loop i = 0 .. N-1
+loop j = 0 .. i+1
+loop k = j .. i+1
+body {
+  s[i] += (double)(j + k);
+}
+)");
+}
+
+TEST(Emitter, OriginalFunctionStructure) {
+  const std::string src = emit_original_function(correlation_prog());
+  EXPECT_NE(src.find("static void correlation_original(long N, double (*a)[N], "
+                     "double (*b)[N], double (*c)[N])"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("for (long i = 0; i < N - 1; i++)"), std::string::npos);
+  EXPECT_NE(src.find("for (long j = i + 1; j < N; j++)"), std::string::npos);
+  EXPECT_NE(src.find("a[j][i] = a[i][j];"), std::string::npos);
+}
+
+TEST(Emitter, CollapsedPerThreadMirrorsFig4) {
+  const NestProgram prog = correlation_prog();
+  const Collapsed col = collapse(prog.collapsed_nest());
+  EmitOptions opt;
+  opt.style = RecoveryStyle::PerThread;
+  const std::string src = emit_collapsed_function(prog, col, opt);
+  // Trip count (N^2 - N)/2, pure integer arithmetic.
+  EXPECT_NE(src.find("const long __nrc_total = ((N*N - N) / 2);"), std::string::npos)
+      << src;
+  // Fig. 4 structure: firstprivate flag, recovery guarded by it,
+  // incrementation at the end of the body.
+  EXPECT_NE(src.find("#pragma omp parallel for firstprivate(__nrc_first) "
+                     "private(i, j) schedule(static)"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("if (__nrc_first)"), std::string::npos);
+  EXPECT_NE(src.find("i = (long)floor("), std::string::npos);
+  EXPECT_NE(src.find("sqrt("), std::string::npos);  // degree 2: real sqrt, Fig. 3 style
+  EXPECT_EQ(src.find("csqrt("), std::string::npos);
+  EXPECT_NE(src.find("j++;"), std::string::npos);
+  EXPECT_NE(src.find("if (j >= N)"), std::string::npos);
+  EXPECT_NE(src.find("j = i + 1;"), std::string::npos);
+}
+
+TEST(Emitter, CollapsedPerIterationMirrorsFig3) {
+  const NestProgram prog = correlation_prog();
+  const Collapsed col = collapse(prog.collapsed_nest());
+  EmitOptions opt;
+  opt.style = RecoveryStyle::PerIteration;
+  const std::string src = emit_collapsed_function(prog, col, opt);
+  EXPECT_NE(src.find("#pragma omp parallel for private(i, j) schedule(static)"),
+            std::string::npos)
+      << src;
+  // No incrementation/firstprivate machinery in the naive style.
+  EXPECT_EQ(src.find("__nrc_first"), std::string::npos);
+  EXPECT_EQ(src.find("j++;"), std::string::npos);
+}
+
+TEST(Emitter, CollapsedChunkedMirrorsSectionV) {
+  const NestProgram prog = correlation_prog();
+  const Collapsed col = collapse(prog.collapsed_nest());
+  EmitOptions opt;
+  opt.style = RecoveryStyle::Chunked;
+  opt.chunk = 256;
+  const std::string src = emit_collapsed_function(prog, col, opt);
+  EXPECT_NE(src.find("schedule(static, 256)"), std::string::npos) << src;
+  EXPECT_NE(src.find("if ((pc - 1) % 256 == 0)"), std::string::npos);
+  EXPECT_NE(src.find("j++;"), std::string::npos);
+}
+
+TEST(Emitter, CubicNestUsesComplexMathLikeFig7) {
+  const NestProgram prog = fig6_prog();
+  const Collapsed col = collapse(prog.collapsed_nest());
+  const std::string src = emit_collapsed_function(prog, col, {});
+  // Level 0 recovery (degree 3) must go through C99 complex functions.
+  EXPECT_NE(src.find("creal("), std::string::npos) << src;
+  EXPECT_NE(src.find("csqrt("), std::string::npos);
+  EXPECT_NE(src.find("cpow("), std::string::npos);
+  // Innermost recovery stays integer.
+  EXPECT_NE(src.find("k = (j) + (pc - "), std::string::npos) << src;
+}
+
+TEST(Emitter, PartialCollapseKeepsInnerLoops) {
+  const NestProgram prog = parse_nest_program(R"(
+name partial
+params N
+array double x[N]
+loop i = 0 .. N
+loop j = i .. N
+loop k = 0 .. N
+collapse 2
+body { x[k] += 1.0; }
+)");
+  const Collapsed col = collapse(prog.collapsed_nest());
+  const std::string src = emit_collapsed_function(prog, col, {});
+  EXPECT_NE(src.find("for (long k = 0; k < N; k++)"), std::string::npos) << src;
+  // k is not in the private clause (declared inside the loop).
+  EXPECT_NE(src.find("private(i, j)"), std::string::npos);
+}
+
+TEST(Emitter, VerificationProgramIsSelfContained) {
+  const NestProgram prog = correlation_prog();
+  const Collapsed col = collapse(prog.collapsed_nest());
+  const std::string src = emit_verification_program(prog, col, {});
+  EXPECT_NE(src.find("#include <stdio.h>"), std::string::npos);
+  EXPECT_NE(src.find("int main(int argc, char **argv)"), std::string::npos);
+  EXPECT_NE(src.find("correlation_original("), std::string::npos);
+  EXPECT_NE(src.find("correlation_collapsed("), std::string::npos);
+  EXPECT_NE(src.find("printf(\"OK\\n\");"), std::string::npos);
+  // Two copies of every array.
+  EXPECT_NE(src.find("a_ref"), std::string::npos);
+  EXPECT_NE(src.find("a_col"), std::string::npos);
+  // complex.h only when needed: the quadratic correlation doesn't.
+  EXPECT_EQ(src.find("#include <complex.h>"), std::string::npos);
+  const NestProgram cubic = fig6_prog();
+  const Collapsed col3 = collapse(cubic.collapsed_nest());
+  EXPECT_NE(emit_verification_program(cubic, col3, {}).find("#include <complex.h>"),
+            std::string::npos);
+}
+
+TEST(Emitter, ThrowsWhenClosedFormMissing) {
+  NestProgram prog;
+  prog.name = "deep";
+  prog.nest.param("N");
+  prog.nest.loop("a", aff::c(0), aff::v("N"))
+      .loop("b", aff::v("a"), aff::v("N"))
+      .loop("c", aff::v("b"), aff::v("N"))
+      .loop("d", aff::v("c"), aff::v("N"))
+      .loop("e", aff::v("d"), aff::v("N"));
+  prog.body = "x += 1;";
+  const Collapsed col = collapse(prog.collapsed_nest());
+  EXPECT_THROW(emit_collapsed_function(prog, col, {}), SolveError);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,103 @@
+#include "codegen/c_for_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/collapse.hpp"
+#include "core/validate.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(CForParser, PaperFig1Correlation) {
+  const NestProgram prog = parse_c_for_nest(R"(
+#pragma omp parallel for private(j, k) schedule(static) collapse(2)
+for (i = 0; i < N-1; i++)
+  for (j = i+1; j < N; j++) {
+    for (k = 0; k < N; k++)
+      a[i][j] += b[k][i] * c[k][j];
+    a[j][i] = a[i][j];
+  }
+)");
+  EXPECT_EQ(prog.nest.depth(), 2);
+  EXPECT_EQ(prog.collapse_depth, 2);
+  EXPECT_EQ(prog.nest.params(), (std::vector<std::string>{"N"}));
+  EXPECT_EQ(prog.nest.at(0).upper, aff::v("N") - 1);
+  EXPECT_EQ(prog.nest.at(1).lower, aff::v("i") + 1);
+  EXPECT_NE(prog.body.find("a[j][i] = a[i][j];"), std::string::npos);
+}
+
+TEST(CForParser, DeclarationsAndInclusiveBounds) {
+  const NestProgram prog = parse_c_for_nest(R"(
+for (long i = 0; i <= N; i++)
+  for (int j = i; j < 2*N; ++j)
+    x[i][j] = 1;
+)");
+  EXPECT_EQ(prog.nest.depth(), 2);
+  // i <= N normalizes to exclusive upper N+1.
+  EXPECT_EQ(prog.nest.at(0).upper, aff::v("N") + 1);
+  EXPECT_EQ(prog.body, "x[i][j] = 1;");
+  EXPECT_EQ(prog.collapse_depth, 0);  // no collapse clause: all loops
+}
+
+TEST(CForParser, StepSpellings) {
+  for (const char* step : {"i++", "++i", "i += 1", "i = i + 1"}) {
+    const std::string src =
+        std::string("for (i = 0; i < N; ") + step + ")\n  x[i] = 1;\n";
+    EXPECT_NO_THROW(parse_c_for_nest(src)) << step;
+  }
+  EXPECT_THROW(parse_c_for_nest("for (i = 0; i < N; i += 2)\n x[i]=1;\n"), ParseError);
+  EXPECT_THROW(parse_c_for_nest("for (i = 0; i < N; i--)\n x[i]=1;\n"), ParseError);
+}
+
+TEST(CForParser, CommentsAreSkipped) {
+  const NestProgram prog = parse_c_for_nest(R"(
+/* outer */ for (i = 0; i < N; i++)  // row
+  for (j = i; j < N; j++)            /* col */
+  {
+    y[i] += j;
+  }
+)");
+  EXPECT_EQ(prog.nest.depth(), 2);
+  EXPECT_EQ(prog.body, "y[i] += j;");
+}
+
+TEST(CForParser, ThreeDeepWithPartialCollapse) {
+  const NestProgram prog = parse_c_for_nest(R"(
+#pragma omp parallel for collapse(2)
+for (i = 0; i < N; i++)
+  for (j = i; j < N; j++)
+    for (k = 0; k < M; k++)
+      s += A[i][j][k];
+)");
+  EXPECT_EQ(prog.nest.depth(), 3);
+  EXPECT_EQ(prog.effective_collapse_depth(), 2);
+  // Parameters inferred from bounds only (M and N, not s/A).
+  EXPECT_EQ(prog.nest.params(), (std::vector<std::string>{"M", "N"}));
+  EXPECT_EQ(prog.collapsed_nest().depth(), 2);
+}
+
+TEST(CForParser, Errors) {
+  EXPECT_THROW(parse_c_for_nest("x = 1;"), ParseError);             // no for
+  EXPECT_THROW(parse_c_for_nest("for (i = 0; i > N; i++) x;"), ParseError);
+  EXPECT_THROW(parse_c_for_nest("for (i = 0; j < N; i++) x;"), ParseError);
+  EXPECT_THROW(parse_c_for_nest("for (i = 0; i < N; i++) { x; "), ParseError);
+  EXPECT_THROW(parse_c_for_nest("for (i = 0; i < N; i++)\n"), ParseError);  // empty body
+  EXPECT_THROW(parse_c_for_nest(
+                   "#pragma omp parallel for collapse(3)\n"
+                   "for (i = 0; i < N; i++) for (j = 0; j < N; j++) x;"),
+               ParseError);  // collapse > depth
+}
+
+TEST(CForParser, RoundTripThroughCollapseAndValidate) {
+  const NestProgram prog = parse_c_for_nest(R"(
+for (i = 0; i < N; i++)
+  for (j = i; j < N + 2*i; j++)
+    out[i][j] = 1;
+)");
+  const Collapsed col = collapse(prog.collapsed_nest());
+  const auto rep = validate_collapsed(col, {{"N", 15}});
+  EXPECT_TRUE(rep.ok) << rep.first_error;
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,78 @@
+#include "core/count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "polyhedral/domain.hpp"
+
+namespace nrc {
+namespace {
+
+std::map<std::string, i64> to_std(const ParamMap& p) {
+  return {p.begin(), p.end()};
+}
+
+TEST(Count, TotalMatchesBruteForceAcrossShapesAndSizes) {
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const Polynomial total = count_polynomial(sc.nest);
+    for (i64 v : {2, 3, 5, 8, 13}) {
+      const ParamMap p = testutil::uniform_params(sc.nest, v);
+      if (!has_no_empty_ranges(sc.nest, p)) continue;  // outside the model
+      EXPECT_EQ(total.eval_i128(to_std(p)), count_domain_brute(sc.nest, p))
+          << sc.name << " v=" << v;
+    }
+  }
+}
+
+TEST(Count, KnownClosedForms) {
+  // strict triangle: (N-1)N/2
+  const Polynomial N = Polynomial::variable("N");
+  EXPECT_EQ(count_polynomial(testutil::triangular_strict()), (N.pow(2) - N) / Rational(2));
+  // Fig. 6: (N^3 - N)/6
+  EXPECT_EQ(count_polynomial(testutil::tetrahedral_fig6()), (N.pow(3) - N) / Rational(6));
+  // rectangle: N*M
+  EXPECT_EQ(count_polynomial(testutil::rectangular()),
+            N * Polynomial::variable("M"));
+  // rhomboid: N*M (every row has M points)
+  EXPECT_EQ(count_polynomial(testutil::rhomboidal()), N * Polynomial::variable("M"));
+}
+
+TEST(Count, SubtreeCountsStructure) {
+  const auto S = subtree_counts(testutil::tetrahedral_fig6());
+  ASSERT_EQ(S.size(), 4u);
+  EXPECT_EQ(S[3], Polynomial(1));
+  // S[2](i, j) = number of k in [j, i+1) = i + 1 - j.
+  EXPECT_EQ(S[2], Polynomial::variable("i") + Polynomial(1) - Polynomial::variable("j"));
+  // S[0] is parameter-only.
+  EXPECT_TRUE(S[0].variables() == std::set<std::string>{"N"});
+}
+
+TEST(Count, SubtreeCountsMatchBruteForcePerPrefix) {
+  const NestSpec nest = testutil::tetrahedral_fig6();
+  const auto S = subtree_counts(nest);
+  const ParamMap p{{"N", 7}};
+  // For every (i, j) prefix, S[2] must count the k-range.
+  std::map<std::pair<i64, i64>, i64> per_prefix;
+  walk_domain(nest, p, [&](std::span<const i64> pt) {
+    ++per_prefix[{pt[0], pt[1]}];
+  });
+  for (const auto& [ij, cnt] : per_prefix) {
+    EXPECT_EQ(S[2].eval_i128({{"i", ij.first}, {"j", ij.second}, {"N", 7}}), cnt);
+  }
+}
+
+TEST(Count, DegreeGrowsWithDependencyChain) {
+  EXPECT_EQ(count_polynomial(testutil::simplex_4d()).degree_in("N"), 4);
+  EXPECT_EQ(count_polynomial(testutil::simplex_5d()).degree_in("N"), 5);
+}
+
+TEST(Count, ParamFreeNestIsConstant) {
+  NestSpec n;
+  n.loop("i", aff::c(0), aff::c(4)).loop("j", aff::v("i"), aff::c(4));
+  const Polynomial total = count_polynomial(n);
+  EXPECT_TRUE(total.is_constant());
+  EXPECT_EQ(total.constant_term(), Rational(10));
+}
+
+}  // namespace
+}  // namespace nrc

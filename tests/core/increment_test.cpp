@@ -1,0 +1,61 @@
+#include "core/increment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(Increment, ReproducesWalkOnAllShapes) {
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const ParamMap p = testutil::uniform_params(sc.nest, 6);
+    if (!has_no_empty_ranges(sc.nest, p)) continue;
+    const auto pts = domain_points(sc.nest, p);
+    std::vector<i64> idx(static_cast<size_t>(sc.nest.depth()));
+    first_point(sc.nest, p, idx);
+    for (size_t q = 0; q < pts.size(); ++q) {
+      EXPECT_EQ(idx, pts[q]) << sc.name << " step " << q;
+      const bool more = next_point(sc.nest, p, idx);
+      EXPECT_EQ(more, q + 1 < pts.size()) << sc.name << " step " << q;
+      if (!more) break;
+    }
+  }
+}
+
+TEST(Increment, CorrelationPattern) {
+  // Matches the hand-written incrementation of paper Fig. 4:
+  // j++; if (j >= N) { i++; j = i+1; }
+  const NestSpec tri = testutil::triangular_strict();
+  const ParamMap p{{"N", 5}};
+  std::vector<i64> idx{0, 3};
+  EXPECT_TRUE(next_point(tri, p, idx));
+  EXPECT_EQ(idx, (std::vector<i64>{0, 4}));
+  EXPECT_TRUE(next_point(tri, p, idx));
+  EXPECT_EQ(idx, (std::vector<i64>{1, 2}));  // row change resets j to i+1
+}
+
+TEST(Increment, CascadeAcrossMultipleLevels) {
+  const NestSpec t = testutil::tetrahedral_ordered();
+  const ParamMap p{{"N", 4}};
+  // Last point of the i=0 subtree is (0,3,3); successor is (1,1,1).
+  std::vector<i64> idx{0, 3, 3};
+  EXPECT_TRUE(next_point(t, p, idx));
+  EXPECT_EQ(idx, (std::vector<i64>{1, 1, 1}));
+}
+
+TEST(Increment, EndOfDomainReturnsFalse) {
+  const NestSpec tri = testutil::triangular_strict();
+  std::vector<i64> idx{3, 4};  // last point for N = 5
+  EXPECT_FALSE(next_point(tri, {{"N", 5}}, idx));
+}
+
+TEST(Increment, FirstPointChainsLowerBounds) {
+  const NestSpec s = testutil::shifted_bounds();
+  std::vector<i64> idx(2);
+  first_point(s, {{"N", 9}}, idx);
+  EXPECT_EQ(idx, (std::vector<i64>{3, 1}));
+}
+
+}  // namespace
+}  // namespace nrc

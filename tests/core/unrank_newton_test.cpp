@@ -1,0 +1,103 @@
+#include "core/unrank_newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/unrank_search.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(NewtonUnranker, RoundTripOnAllShapes) {
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const RankingSystem rs = build_ranking_system(sc.nest);
+    const ParamMap p = testutil::uniform_params(sc.nest, 7);
+    if (!has_no_empty_ranges(sc.nest, p)) continue;
+    const NewtonUnranker nu(rs, p);
+    const auto pts = domain_points(sc.nest, p);
+    std::vector<i64> idx(static_cast<size_t>(sc.nest.depth()));
+    for (size_t q = 0; q < pts.size(); ++q) {
+      nu.recover(static_cast<i64>(q) + 1, idx);
+      EXPECT_EQ(idx, pts[q]) << sc.name << " pc=" << q + 1;
+    }
+  }
+}
+
+TEST(NewtonUnranker, WorksAtDegreeFiveAndAgreesWithSearch) {
+  // Beyond the paper's closed-form limit: the Newton path has no degree
+  // restriction at all.
+  const NestSpec nest = testutil::simplex_5d();
+  const RankingSystem rs = build_ranking_system(nest);
+  const ParamMap p{{"N", 6}};
+  const NewtonUnranker nu(rs, p);
+  std::vector<i64> a(5), b(5);
+  const i64 total = narrow_i64(rs.total.eval_i128({{"N", 6}}));
+  for (i64 pc = 1; pc <= total; ++pc) {
+    nu.recover(pc, a);
+    b = unrank_by_search(rs, p, pc);
+    EXPECT_EQ(a, b) << "pc=" << pc;
+  }
+}
+
+TEST(NewtonUnranker, LargeDomainsStayExact) {
+  // Triangular with N = 2^20: ~5.5e11 iterations; probe rank boundaries.
+  const NestSpec nest = testutil::triangular_strict();
+  const RankingSystem rs = build_ranking_system(nest);
+  const i64 N = 1 << 20;
+  const ParamMap p{{"N", N}};
+  const NewtonUnranker nu(rs, p);
+  std::vector<i64> idx(2);
+  std::map<std::string, i64> vals{{"N", N}};
+  for (i64 i : {i64{0}, i64{123}, N / 2, N - 3}) {
+    vals["i"] = i;
+    vals["j"] = i + 1;
+    const i64 pc = narrow_i64(rs.rank.eval_i128(vals));
+    for (i64 d = -1; d <= 1; ++d) {
+      const i64 probe = pc + d;
+      if (probe < 1) continue;
+      nu.recover(probe, idx);
+      // Verify by ranking the result back.
+      vals["i"] = idx[0];
+      vals["j"] = idx[1];
+      EXPECT_EQ(rs.rank.eval_i128(vals), probe) << "i=" << i << " d=" << d;
+    }
+  }
+}
+
+TEST(NewtonUnranker, ConvergesFasterThanBisectionWouldOnWideLevels) {
+  // For the N = 2^20 triangle, plain bisection needs ~20 exact evals per
+  // level; Newton lands in a handful.
+  const NestSpec nest = testutil::triangular_strict();
+  const RankingSystem rs = build_ranking_system(nest);
+  const i64 N = 1 << 20;
+  const NewtonUnranker nu(rs, {{"N", N}});
+  std::vector<i64> idx(2);
+  const i64 probes = 64;
+  const i64 total = narrow_i64(rs.total.eval_i128({{"N", N}}));
+  for (i64 q = 1; q <= probes; ++q) nu.recover(q * (total / probes), idx);
+  const double steps_per_level =
+      static_cast<double>(nu.total_newton_steps()) / (2.0 * static_cast<double>(probes));
+  EXPECT_LT(steps_per_level, 12.0);  // bisection alone would need ~20
+}
+
+TEST(NewtonUnranker, RejectsBadInputs) {
+  const RankingSystem rs = build_ranking_system(testutil::triangular_strict());
+  EXPECT_THROW(NewtonUnranker(rs, {}), SpecError);  // missing N
+  const NewtonUnranker nu(rs, {{"N", 9}});
+  std::vector<i64> idx(2);
+  EXPECT_THROW(nu.recover(0, idx), SolveError);
+}
+
+TEST(PolynomialDerivative, Basics) {
+  const Polynomial x = Polynomial::variable("x");
+  const Polynomial y = Polynomial::variable("y");
+  // d/dx (x^3 y + 2x + y) = 3x^2 y + 2
+  const Polynomial p = x.pow(3) * y + x * Rational(2) + y;
+  EXPECT_EQ(p.derivative("x"), x.pow(2) * y * Rational(3) + Polynomial(2));
+  EXPECT_EQ(p.derivative("y"), x.pow(3) + Polynomial(1));
+  EXPECT_TRUE(Polynomial(7).derivative("x").is_zero());
+  EXPECT_TRUE(p.derivative("z").is_zero());
+}
+
+}  // namespace
+}  // namespace nrc

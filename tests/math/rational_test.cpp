@@ -1,0 +1,125 @@
+#include "math/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nrc {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(0, -7).den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), SpecError);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), SpecError);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(7, 7), Rational(1));
+  EXPECT_LE(Rational(2, 6), Rational(1, 3));
+}
+
+TEST(Rational, IntegerConversions) {
+  EXPECT_TRUE(Rational(6, 3).is_integer());
+  EXPECT_EQ(Rational(6, 3).as_integer(), 2);
+  EXPECT_FALSE(Rational(1, 2).is_integer());
+  EXPECT_THROW(Rational(1, 2).as_integer(), SolveError);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+}
+
+TEST(Rational, LargeIntermediatesStayExact) {
+  // (a/b) * (b/a) == 1 with large a, b.
+  const Rational a(1'000'000'007, 998'244'353);
+  const Rational b(998'244'353, 1'000'000'007);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, OverflowIsDetected) {
+  const Rational big(INT64_MAX, 1);
+  EXPECT_THROW(big * big, OverflowError);
+  EXPECT_THROW(big + big, OverflowError);
+}
+
+TEST(Rational, FromI128Reduces) {
+  const i128 n = static_cast<i128>(1) << 100;
+  const i128 d = static_cast<i128>(1) << 98;
+  EXPECT_EQ(Rational::from_i128(n, d), Rational(4));
+}
+
+TEST(Rational, LcmHelper) {
+  EXPECT_EQ(lcm_i64(4, 6), 12);
+  EXPECT_EQ(lcm_i64(1, 1), 1);
+  EXPECT_EQ(lcm_i64(7, 5), 35);
+}
+
+TEST(Int128, ToString) {
+  EXPECT_EQ(to_string_i128(0), "0");
+  EXPECT_EQ(to_string_i128(-1), "-1");
+  i128 v = 1;
+  for (int i = 0; i < 20; ++i) v *= 10;
+  EXPECT_EQ(to_string_i128(v), "100000000000000000000");
+  EXPECT_EQ(to_string_i128(-v), "-100000000000000000000");
+}
+
+TEST(Int128, CheckedOps) {
+  const i128 max = ~static_cast<unsigned __int128>(0) >> 1;
+  EXPECT_THROW(checked_add(max, 1), OverflowError);
+  EXPECT_THROW(checked_mul(max, 2), OverflowError);
+  EXPECT_EQ(checked_add(i128{2}, i128{3}), 5);
+  EXPECT_EQ(checked_mul(i128{-4}, i128{5}), -20);
+}
+
+TEST(Int128, IpowChecked) {
+  EXPECT_EQ(ipow_checked(2, 0), 1);
+  EXPECT_EQ(ipow_checked(2, 10), 1024);
+  EXPECT_EQ(ipow_checked(-3, 3), -27);
+  EXPECT_THROW(ipow_checked(10, 40), OverflowError);
+}
+
+TEST(Int128, FloorDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+}
+
+TEST(Int128, ExactDiv) {
+  EXPECT_EQ(exact_div(12, 4), 3);
+  EXPECT_THROW(exact_div(13, 4), SolveError);
+  EXPECT_THROW(exact_div(1, 0), SolveError);
+}
+
+TEST(Int128, NarrowI64) {
+  EXPECT_EQ(narrow_i64(i128{42}), 42);
+  EXPECT_THROW(narrow_i64(static_cast<i128>(INT64_MAX) + 1), OverflowError);
+  EXPECT_THROW(narrow_i64(static_cast<i128>(INT64_MIN) - 1), OverflowError);
+}
+
+}  // namespace
+}  // namespace nrc

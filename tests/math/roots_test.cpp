@@ -1,0 +1,166 @@
+#include "math/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+
+constexpr long double kTol = 1e-9L;
+
+/// |p(root)| for the polynomial given by low-to-high coefficients.
+long double residual(std::span<const cld> coeffs, const cld& x) {
+  cld acc = 0.0L;
+  for (size_t e = coeffs.size(); e-- > 0;) acc = acc * x + coeffs[e];
+  return std::abs(acc);
+}
+
+/// Every expected root must be matched by some finite branch value.
+void expect_roots_covered(std::span<const cld> coeffs, std::span<const cld> expected) {
+  const auto got = all_root_branches(coeffs);
+  for (const cld& want : expected) {
+    bool found = false;
+    for (const cld& g : got) {
+      if (std::isfinite(g.real()) && std::isfinite(g.imag()) &&
+          std::abs(g - want) < 1e-6L * (std::abs(want) + 1.0L)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing root " << static_cast<double>(want.real()) << "+"
+                       << static_cast<double>(want.imag()) << "i";
+  }
+}
+
+TEST(Roots, BranchCounts) {
+  EXPECT_EQ(root_branch_count(1), 1);
+  EXPECT_EQ(root_branch_count(2), 2);
+  EXPECT_EQ(root_branch_count(3), 3);
+  EXPECT_EQ(root_branch_count(4), 12);
+  EXPECT_THROW(root_branch_count(5), DegreeError);
+  EXPECT_THROW(root_branch_count(0), DegreeError);
+}
+
+TEST(Roots, Linear) {
+  // 2x - 6 = 0
+  const cld coeffs[] = {-6.0L, 2.0L};
+  EXPECT_LT(std::abs(root_branch_value(coeffs, 0) - cld{3.0L}), kTol);
+}
+
+TEST(Roots, QuadraticRealRoots) {
+  // (x-2)(x+5) = x^2 + 3x - 10
+  const cld coeffs[] = {-10.0L, 3.0L, 1.0L};
+  expect_roots_covered(coeffs, std::vector<cld>{{2.0L}, {-5.0L}});
+  for (int b = 0; b < 2; ++b)
+    EXPECT_LT(residual(coeffs, root_branch_value(coeffs, b)), kTol);
+}
+
+TEST(Roots, QuadraticComplexRoots) {
+  // x^2 + 1 = 0 -> +-i
+  const cld coeffs[] = {1.0L, 0.0L, 1.0L};
+  expect_roots_covered(coeffs, std::vector<cld>{{0.0L, 1.0L}, {0.0L, -1.0L}});
+}
+
+TEST(Roots, CubicThreeRealRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+  const cld coeffs[] = {-6.0L, 11.0L, -6.0L, 1.0L};
+  expect_roots_covered(coeffs, std::vector<cld>{{1.0L}, {2.0L}, {3.0L}});
+  for (int b = 0; b < 3; ++b)
+    EXPECT_LT(residual(coeffs, root_branch_value(coeffs, b)), 1e-7L);
+}
+
+TEST(Roots, CubicOneRealTwoComplex) {
+  // (x-2)(x^2+x+1) = x^3 - x^2 - x - 2
+  const cld coeffs[] = {-2.0L, -1.0L, -1.0L, 1.0L};
+  expect_roots_covered(
+      coeffs, std::vector<cld>{{2.0L},
+                               {-0.5L, std::sqrt(3.0L) / 2.0L},
+                               {-0.5L, -std::sqrt(3.0L) / 2.0L}});
+}
+
+TEST(Roots, CubicTripleRootDegeneratesGracefully) {
+  // (x-1)^3 = x^3 - 3x^2 + 3x - 1: p = q = 0 after depressing.
+  const cld coeffs[] = {-1.0L, 3.0L, -3.0L, 1.0L};
+  for (int b = 0; b < 3; ++b) {
+    const cld r = root_branch_value(coeffs, b);
+    EXPECT_TRUE(std::isfinite(r.real()));
+    EXPECT_LT(std::abs(r - cld{1.0L}), 1e-6L);
+  }
+}
+
+TEST(Roots, QuarticFourRealRoots) {
+  // (x-1)(x-2)(x-3)(x-4) = x^4 -10x^3 +35x^2 -50x +24
+  const cld coeffs[] = {24.0L, -50.0L, 35.0L, -10.0L, 1.0L};
+  expect_roots_covered(coeffs, std::vector<cld>{{1.0L}, {2.0L}, {3.0L}, {4.0L}});
+}
+
+TEST(Roots, QuarticComplexPairs) {
+  // (x^2+1)(x^2+4) = x^4 + 5x^2 + 4 — biquadratic: q == 0 makes w = 0 a
+  // root of the resolvent cubic, and the resolvent branch that lands on
+  // it yields an invalid factorization (finite but wrong values).  This
+  // is exactly why the runtime never trusts a branch value without the
+  // exact integer correction.  The contract tested here is weaker: all
+  // four true roots are still covered by the *valid* resolvent branches.
+  const cld coeffs[] = {4.0L, 0.0L, 5.0L, 0.0L, 1.0L};
+  expect_roots_covered(coeffs,
+                       std::vector<cld>{{0.0L, 1.0L},
+                                        {0.0L, -1.0L},
+                                        {0.0L, 2.0L},
+                                        {0.0L, -2.0L}});
+}
+
+TEST(Roots, QuarticGenericMixedRoots) {
+  // (x-1)(x+2)(x^2+x+3) = x^4 + 2x^3 + 2x^2 + x - 6 (checked numerically)
+  const cld coeffs[] = {-6.0L, 1.0L, 2.0L, 2.0L, 1.0L};
+  expect_roots_covered(coeffs,
+                       std::vector<cld>{{1.0L},
+                                        {-2.0L},
+                                        {-0.5L, std::sqrt(11.0L) / 2.0L},
+                                        {-0.5L, -std::sqrt(11.0L) / 2.0L}});
+}
+
+TEST(Roots, Fig6PaperCubicComplexAtPc1) {
+  // The paper §IV-C root for r(i,0,0) - pc with pc = 1:
+  // sqrt(243 pc^2 - 486 pc + 242) = sqrt(-1): the discriminant is
+  // negative yet the full formula evaluates to the real value 0.
+  // Equation: (i^3 + 3 i^2 + 2 i + 6)/6 - pc = 0, i.e. for pc=1:
+  // i^3 + 3 i^2 + 2 i = 0 with roots {0, -1, -2}.
+  const cld coeffs[] = {6.0L - 6.0L * 1.0L, 2.0L, 3.0L, 1.0L};
+  const auto roots = all_root_branches(coeffs);
+  bool found_zero = false;
+  for (const cld& r : roots) {
+    if (std::abs(r) < 1e-9L) found_zero = true;
+    EXPECT_LT(residual(coeffs, r), 1e-7L);
+  }
+  EXPECT_TRUE(found_zero);
+}
+
+TEST(Roots, LeadingCoefficientScalesOut) {
+  // 5(x-3)(x+7) vs (x-3)(x+7): same roots.
+  const cld a[] = {-21.0L, 4.0L, 1.0L};
+  const cld b[] = {-105.0L, 20.0L, 5.0L};
+  for (int br = 0; br < 2; ++br)
+    EXPECT_LT(std::abs(root_branch_value(a, br) - root_branch_value(b, br)), 1e-9L);
+}
+
+TEST(Roots, InvalidBranchThrows) {
+  const cld coeffs[] = {1.0L, 1.0L};
+  EXPECT_THROW(root_branch_value(coeffs, 1), SolveError);
+  EXPECT_THROW(root_branch_value(coeffs, -1), SolveError);
+}
+
+TEST(Roots, PrincipalCbrt) {
+  EXPECT_LT(std::abs(principal_cbrt(cld{8.0L}) - cld{2.0L}), kTol);
+  EXPECT_LT(std::abs(principal_cbrt(cld{0.0L})), kTol);
+  // Principal branch of cbrt(-8) is 2*e^{i pi/3}, not -2.
+  const cld r = principal_cbrt(cld{-8.0L});
+  EXPECT_NEAR(static_cast<double>(r.real()), 1.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(r.imag()), std::sqrt(3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,68 @@
+#include "polyhedral/lexmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(Lexmin, PointsMatchEnumeration) {
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const ParamMap p = testutil::uniform_params(sc.nest, 5);
+    const auto pts = domain_points(sc.nest, p);
+    ASSERT_FALSE(pts.empty()) << sc.name;
+    EXPECT_EQ(lexmin_point(sc.nest, p), pts.front()) << sc.name;
+    EXPECT_EQ(lexmax_point(sc.nest, p), pts.back()) << sc.name;
+  }
+}
+
+TEST(Lexmin, TriangularValues) {
+  const NestSpec tri = testutil::triangular_strict();
+  const auto mn = lexmin_point(tri, {{"N", 10}});
+  const auto mx = lexmax_point(tri, {{"N", 10}});
+  EXPECT_EQ(mn, (std::vector<i64>{0, 1}));
+  EXPECT_EQ(mx, (std::vector<i64>{8, 9}));
+}
+
+TEST(Lexmin, TrailingLexminSubstitution) {
+  // For the strict triangle, substituting j by its lexmin (i+1) into the
+  // polynomial j - i must give the constant 1.
+  const NestSpec tri = testutil::triangular_strict();
+  const Polynomial p = Polynomial::variable("j") - Polynomial::variable("i");
+  EXPECT_EQ(substitute_trailing_lexmin(p, tri, 0), Polynomial(1));
+  // k = -1 substitutes everything: i's lexmin is 0, j's becomes 1.
+  const Polynomial q = Polynomial::variable("j") + Polynomial::variable("i");
+  EXPECT_EQ(substitute_trailing_lexmin(q, tri, -1), Polynomial(1));
+}
+
+TEST(Lexmin, TrailingLexmaxSubstitution) {
+  const NestSpec tri = testutil::triangular_strict();
+  // j's lexmax is N-1.
+  const Polynomial p = Polynomial::variable("j");
+  EXPECT_EQ(substitute_trailing_lexmax(p, tri, 0),
+            Polynomial::variable("N") - Polynomial(1));
+  // Substituting all: i -> N-2, j -> N-1.
+  const Polynomial q = Polynomial::variable("i") + Polynomial::variable("j");
+  EXPECT_EQ(substitute_trailing_lexmax(q, tri, -1),
+            Polynomial::variable("N") * Rational(2) - Polynomial(3));
+}
+
+TEST(Lexmin, ChainedSubstitutionResolvesNestedBounds) {
+  // Fig. 6 nest: k's lexmin is j, whose lexmin is 0.
+  const NestSpec t = testutil::tetrahedral_fig6();
+  const Polynomial k = Polynomial::variable("k");
+  // Substituting below level 1 (i, j fixed): k -> j.
+  EXPECT_EQ(substitute_trailing_lexmin(k, t, 1), Polynomial::variable("j"));
+  // Substituting below level 0 (only i fixed): k -> j -> 0.
+  EXPECT_EQ(substitute_trailing_lexmin(k, t, 0), Polynomial(0));
+}
+
+TEST(Lexmin, ShiftedBoundsChain) {
+  const NestSpec s = testutil::shifted_bounds();
+  const auto mn = lexmin_point(s, {{"N", 7}});
+  EXPECT_EQ(mn, (std::vector<i64>{3, 1}));  // i = 3, j = i - 2 = 1
+}
+
+}  // namespace
+}  // namespace nrc

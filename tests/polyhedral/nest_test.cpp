@@ -1,0 +1,90 @@
+#include "polyhedral/nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(NestSpec, FluentBuilder) {
+  NestSpec n;
+  n.param("N").loop("i", aff::c(0), aff::v("N")).loop("j", aff::v("i"), aff::v("N"));
+  EXPECT_EQ(n.depth(), 2);
+  EXPECT_EQ(n.params().size(), 1u);
+  EXPECT_EQ(n.at(0).var, "i");
+  EXPECT_EQ(n.at(1).lower, aff::v("i"));
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(NestSpec, LoopVars) {
+  const auto vars = testutil::tetrahedral_fig6().loop_vars();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], "i");
+  EXPECT_EQ(vars[1], "j");
+  EXPECT_EQ(vars[2], "k");
+}
+
+TEST(NestSpec, OuterSubNest) {
+  const NestSpec full = testutil::tetrahedral_fig6();
+  const NestSpec two = full.outer(2);
+  EXPECT_EQ(two.depth(), 2);
+  EXPECT_EQ(two.params(), full.params());
+  EXPECT_EQ(two.at(1).var, "j");
+  EXPECT_THROW(full.outer(0), SpecError);
+  EXPECT_THROW(full.outer(4), SpecError);
+}
+
+TEST(NestSpec, ValidateRejectsEmptyNest) {
+  NestSpec n;
+  EXPECT_THROW(n.validate(), SpecError);
+}
+
+TEST(NestSpec, ValidateRejectsDuplicateNames) {
+  NestSpec a;
+  a.param("N").param("N").loop("i", aff::c(0), aff::v("N"));
+  EXPECT_THROW(a.validate(), SpecError);
+
+  NestSpec b;
+  b.param("N").loop("i", aff::c(0), aff::v("N")).loop("i", aff::c(0), aff::v("N"));
+  EXPECT_THROW(b.validate(), SpecError);
+
+  NestSpec c;
+  c.param("i").loop("i", aff::c(0), aff::c(10));
+  EXPECT_THROW(c.validate(), SpecError);
+}
+
+TEST(NestSpec, ValidateRejectsInnerIteratorInBound) {
+  // i's bound references j, which is declared later (inner).
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("j"))
+      .loop("j", aff::c(0), aff::v("N"));
+  EXPECT_THROW(n.validate(), SpecError);
+}
+
+TEST(NestSpec, ValidateRejectsUnknownVariable) {
+  NestSpec n;
+  n.param("N").loop("i", aff::c(0), aff::v("M"));
+  EXPECT_THROW(n.validate(), SpecError);
+}
+
+TEST(NestSpec, ValidateRejectsEmptyVarName) {
+  NestSpec n;
+  n.loop("", aff::c(0), aff::c(5));
+  EXPECT_THROW(n.validate(), SpecError);
+}
+
+TEST(NestSpec, StrRendersLoops) {
+  const std::string s = testutil::triangular_strict().str();
+  EXPECT_NE(s.find("for (i = 0; i < N - 1; i++)"), std::string::npos);
+  EXPECT_NE(s.find("for (j = i + 1; j < N; j++)"), std::string::npos);
+}
+
+TEST(NestSpec, AllTestShapesValidate) {
+  for (const auto& sc : testutil::closed_form_shapes())
+    EXPECT_NO_THROW(sc.nest.validate()) << sc.name;
+}
+
+}  // namespace
+}  // namespace nrc

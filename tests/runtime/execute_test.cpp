@@ -1,0 +1,156 @@
+// Every execution scheme must visit exactly the original nest's
+// iteration set — the fundamental safety property of the transformation.
+#include "runtime/execute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+using Tuple = std::vector<i64>;
+
+/// Collect visited tuples (thread-safe) and compare to the brute walk.
+class VisitCollector {
+ public:
+  explicit VisitCollector(int depth) : depth_(depth) {}
+
+  auto body() {
+    return [this](std::span<const i64> idx) {
+      const Tuple t(idx.begin(), idx.end());
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = visited_.insert(t);
+      if (!inserted) ++duplicates_;
+    };
+  }
+
+  void expect_matches(const NestSpec& nest, const ParamMap& params) const {
+    const auto pts = domain_points(nest, params);
+    EXPECT_EQ(duplicates_, 0) << "some iteration was executed twice";
+    EXPECT_EQ(visited_.size(), pts.size());
+    for (const auto& p : pts) EXPECT_TRUE(visited_.count(p)) << "missing point";
+  }
+
+ private:
+  int depth_;
+  mutable std::mutex mu_;
+  std::set<Tuple> visited_;
+  int duplicates_ = 0;
+};
+
+class ExecuteSchemes : public ::testing::TestWithParam<int> {};  // threads
+
+TEST_P(ExecuteSchemes, PerThreadCoversDomain) {
+  const NestSpec nest = testutil::tetrahedral_fig6();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 14}};
+  const CollapsedEval cn = col.bind(p);
+  VisitCollector vc(cn.depth());
+  collapsed_for_per_thread(cn, vc.body(), {GetParam()});
+  vc.expect_matches(nest, p);
+}
+
+TEST_P(ExecuteSchemes, PerIterationStaticCoversDomain) {
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 40}};
+  const CollapsedEval cn = col.bind(p);
+  VisitCollector vc(cn.depth());
+  collapsed_for_per_iteration(cn, vc.body(), OmpSchedule::Static, {GetParam()});
+  vc.expect_matches(nest, p);
+}
+
+TEST_P(ExecuteSchemes, PerIterationDynamicCoversDomain) {
+  const NestSpec nest = testutil::trapezoidal_skewed();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"T", 9}, {"N", 7}};
+  const CollapsedEval cn = col.bind(p);
+  VisitCollector vc(cn.depth());
+  collapsed_for_per_iteration(cn, vc.body(), OmpSchedule::Dynamic, {GetParam()});
+  vc.expect_matches(nest, p);
+}
+
+TEST_P(ExecuteSchemes, ChunkedCoversDomain) {
+  const NestSpec nest = testutil::triangular_lower();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 33}};
+  const CollapsedEval cn = col.bind(p);
+  for (i64 chunk : {1, 3, 16, 1000}) {
+    VisitCollector vc(cn.depth());
+    collapsed_for_chunked(cn, chunk, vc.body(), {GetParam()});
+    vc.expect_matches(nest, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ExecuteSchemes, ::testing::Values(1, 2, 7, 12));
+
+TEST(ExecuteSchemes, SerialPreservesLexicographicOrder) {
+  const NestSpec nest = testutil::tetrahedral_ordered();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 8}};
+  const CollapsedEval cn = col.bind(p);
+  std::vector<Tuple> order;
+  collapsed_serial(cn, [&](std::span<const i64> idx) {
+    order.emplace_back(idx.begin(), idx.end());
+  });
+  EXPECT_EQ(order, domain_points(nest, p));
+}
+
+TEST(ExecuteSchemes, SerialSimMatchesSerialForAnyChunkCount) {
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 25}};
+  const CollapsedEval cn = col.bind(p);
+  const auto expect = domain_points(nest, p);
+  for (int sims : {1, 2, 5, 12, 100, 100000}) {
+    std::vector<Tuple> order;
+    collapsed_serial_sim(cn, sims, [&](std::span<const i64> idx) {
+      order.emplace_back(idx.begin(), idx.end());
+    });
+    EXPECT_EQ(order, expect) << "sims=" << sims;
+  }
+}
+
+TEST(ExecuteSchemes, PerThreadBlocksAreContiguousRanks) {
+  // Each thread's visited pc values must be one contiguous range —
+  // that's the schedule(static) semantics §V relies on.
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const CollapsedEval cn = col.bind({{"N", 30}});
+  std::mutex mu;
+  std::map<int, std::vector<i64>> per_thread;
+  collapsed_for_per_thread(
+      cn,
+      [&](std::span<const i64> idx) {
+        const i64 r = cn.rank(idx);
+        std::lock_guard<std::mutex> lock(mu);
+        per_thread[omp_get_thread_num()].push_back(r);
+      },
+      {4});
+  for (auto& [t, ranks] : per_thread) {
+    std::sort(ranks.begin(), ranks.end());
+    for (size_t q = 1; q < ranks.size(); ++q)
+      EXPECT_EQ(ranks[q], ranks[q - 1] + 1) << "thread " << t;
+  }
+}
+
+TEST(ExecuteSchemes, EmptyWorkIsSafe) {
+  // trip_count >= 1 is guaranteed by bind(); single-iteration domains
+  // must not break any scheme.
+  NestSpec n;
+  n.param("N").loop("i", aff::c(0), aff::v("N")).loop("j", aff::v("i"), aff::v("N"));
+  const Collapsed col = collapse(n);
+  const CollapsedEval cn = col.bind({{"N", 1}});
+  ASSERT_EQ(cn.trip_count(), 1);
+  std::atomic<int> count{0};
+  collapsed_for_per_thread(cn, [&](std::span<const i64>) { ++count; }, {8});
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace nrc

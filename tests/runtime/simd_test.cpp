@@ -1,0 +1,98 @@
+#include "runtime/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(SimdBlocks, CoversDomainForVariousLaneCounts) {
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 26}};
+  const CollapsedEval cn = col.bind(p);
+  const auto pts = domain_points(nest, p);
+
+  for (int vlen : {1, 2, 4, 8, 13, 64}) {
+    std::mutex mu;
+    std::set<std::pair<i64, i64>> seen;
+    i64 lanes_total = 0;
+    collapsed_for_simd_blocks(
+        cn, vlen,
+        [&](int lanes, const i64* const* cols) {
+          std::lock_guard<std::mutex> lock(mu);
+          lanes_total += lanes;
+          for (int l = 0; l < lanes; ++l) seen.emplace(cols[0][l], cols[1][l]);
+        },
+        4);
+    EXPECT_EQ(lanes_total, cn.trip_count()) << "vlen=" << vlen;
+    EXPECT_EQ(seen.size(), pts.size()) << "vlen=" << vlen;
+  }
+}
+
+TEST(SimdBlocks, LanesWithinBlockAreConsecutive) {
+  const NestSpec nest = testutil::triangular_lower();
+  const Collapsed col = collapse(nest);
+  const CollapsedEval cn = col.bind({{"N", 20}});
+  collapsed_for_simd_blocks(
+      cn, 8,
+      [&](int lanes, const i64* const* cols) {
+        for (int l = 1; l < lanes; ++l) {
+          const i64 a[] = {cols[0][l - 1], cols[1][l - 1]};
+          const i64 b[] = {cols[0][l], cols[1][l]};
+          EXPECT_EQ(cn.rank({b, 2}), cn.rank({a, 2}) + 1);
+        }
+      },
+      1);
+}
+
+TEST(SimdBlocks, BlockNeverExceedsVlen) {
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const CollapsedEval cn = col.bind({{"N", 19}});
+  collapsed_for_simd_blocks(
+      cn, 4, [&](int lanes, const i64* const*) { EXPECT_LE(lanes, 4); }, 3);
+}
+
+TEST(SimdBlocks, RejectsBadVlen) {
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const CollapsedEval cn = col.bind({{"N", 8}});
+  auto noop = [](int, const i64* const*) {};
+  EXPECT_THROW(collapsed_for_simd_blocks(cn, 0, noop), SpecError);
+  EXPECT_THROW(collapsed_for_simd_blocks(cn, kMaxSimdLanes + 1, noop), SpecError);
+}
+
+TEST(SimdBlocks, ComputesSameSumAsSerial) {
+  // A simd-style reduction over the block must reproduce the serial sum.
+  const NestSpec nest = testutil::trapezoidal();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 15}, {"M", 4}};
+  const CollapsedEval cn = col.bind(p);
+
+  long double expect = 0.0L;
+  walk_domain(nest, p, [&](std::span<const i64> t) {
+    expect += static_cast<long double>(t[0] * 3 + t[1]);
+  });
+
+  std::mutex mu;
+  long double got = 0.0L;
+  collapsed_for_simd_blocks(
+      cn, 8,
+      [&](int lanes, const i64* const* cols) {
+        long double local = 0.0L;
+#pragma omp simd reduction(+ : local)
+        for (int l = 0; l < lanes; ++l)
+          local += static_cast<long double>(cols[0][l] * 3 + cols[1][l]);
+        std::lock_guard<std::mutex> lock(mu);
+        got += local;
+      },
+      4);
+  EXPECT_EQ(static_cast<double>(got), static_cast<double>(expect));
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "../test_util.hpp"
+#include "runtime/execute.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(Taskloop, CoversDomainForVariousGrains) {
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 35}};
+  const CollapsedEval cn = col.bind(p);
+  const auto pts = domain_points(nest, p);
+
+  for (i64 grain : {i64{0} /* default */, i64{1}, i64{7}, i64{100}, i64{100000}}) {
+    std::mutex mu;
+    std::multiset<std::pair<i64, i64>> seen;
+    collapsed_for_taskloop(
+        cn, grain,
+        [&](std::span<const i64> ij) {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.emplace(ij[0], ij[1]);
+        },
+        {4});
+    EXPECT_EQ(static_cast<i64>(seen.size()), cn.trip_count()) << "grain=" << grain;
+    for (const auto& q : pts)
+      EXPECT_EQ(seen.count({q[0], q[1]}), 1u) << "grain=" << grain;
+  }
+}
+
+TEST(Taskloop, ComputesSameReductionAsSerial) {
+  const NestSpec nest = testutil::tetrahedral_fig6();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 13}};
+  const CollapsedEval cn = col.bind(p);
+
+  long double expect = 0.0L;
+  walk_domain(nest, p, [&](std::span<const i64> t) {
+    expect += static_cast<long double>(t[0] * 100 + t[1] * 10 + t[2]);
+  });
+
+  std::mutex mu;
+  long double got = 0.0L;
+  collapsed_for_taskloop(
+      cn, 16,
+      [&](std::span<const i64> t) {
+        const long double v = static_cast<long double>(t[0] * 100 + t[1] * 10 + t[2]);
+        std::lock_guard<std::mutex> lock(mu);
+        got += v;
+      },
+      {8});
+  EXPECT_EQ(static_cast<double>(got), static_cast<double>(expect));
+}
+
+TEST(Taskloop, SingleThreadPreservesChunkOrderWithinTask) {
+  const NestSpec nest = testutil::triangular_lower();
+  const Collapsed col = collapse(nest);
+  const CollapsedEval cn = col.bind({{"N", 12}});
+  std::vector<std::pair<i64, i64>> order;
+  collapsed_for_taskloop(
+      cn, 1000000,  // one big task: fully sequential
+      [&](std::span<const i64> ij) { order.emplace_back(ij[0], ij[1]); }, {1});
+  const auto pts = domain_points(nest, {{"N", 12}});
+  ASSERT_EQ(order.size(), pts.size());
+  for (size_t q = 0; q < pts.size(); ++q) {
+    EXPECT_EQ(order[q].first, pts[q][0]);
+    EXPECT_EQ(order[q].second, pts[q][1]);
+  }
+}
+
+TEST(RecoveryStats, CountersAccumulatePerLevel) {
+  const Collapsed col = collapse(testutil::tetrahedral_fig6());
+  const CollapsedEval cn = col.bind({{"N", 20}});
+  RecoveryStats stats;
+  std::vector<i64> idx(3);
+  const i64 total = cn.trip_count();
+  for (i64 pc = 1; pc <= total; ++pc) cn.recover(pc, idx, &stats);
+  // Two non-innermost levels per recovery (innermost is linear, untracked).
+  EXPECT_EQ(stats.levels(), 2 * total);
+  // The guarded paths must be exact and overwhelmingly closed-form.
+  EXPECT_GT(stats.closed_form, 0);
+  EXPECT_EQ(stats.fallback, 0);
+  // Merging works.
+  RecoveryStats more = stats;
+  more += stats;
+  EXPECT_EQ(more.levels(), 4 * total);
+}
+
+TEST(RecoveryStats, SearchOnlyEvalReportsFallback) {
+  CollapseOptions opts;
+  opts.build_closed_form = false;
+  const Collapsed col = collapse(testutil::triangular_strict(), opts);
+  const CollapsedEval cn = col.bind({{"N", 10}});
+  RecoveryStats stats;
+  std::vector<i64> idx(2);
+  cn.recover(5, idx, &stats);
+  EXPECT_EQ(stats.fallback, 1);  // level 0 by search; innermost untracked
+  EXPECT_EQ(stats.closed_form, 0);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,85 @@
+#include "runtime/thread_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(ThreadStats, CollapsedStaticIsBalancedToWithinOne) {
+  const ThreadLoad load = collapsed_static_load(100, 12);
+  ASSERT_EQ(load.iterations.size(), 12u);
+  EXPECT_EQ(load.max_load() - load.min_load(), 1);  // 100 = 12*8 + 4
+  i64 total = 0;
+  for (i64 v : load.iterations) total += v;
+  EXPECT_EQ(total, 100);
+  EXPECT_LT(load.imbalance(), 0.21);
+}
+
+TEST(ThreadStats, OuterStaticOnTriangleIsHeavilySkewedToThreadZero) {
+  // Paper Fig. 2: with schedule(static) on the outer triangular loop the
+  // first thread gets by far the most iterations.
+  const NestSpec tri = testutil::triangular_strict();
+  const ThreadLoad load = outer_static_load(tri, {{"N", 101}}, 5);
+  ASSERT_EQ(load.iterations.size(), 5u);
+  // Thread loads must be strictly decreasing.
+  for (size_t t = 1; t < 5; ++t)
+    EXPECT_LT(load.iterations[t], load.iterations[t - 1]);
+  EXPECT_EQ(load.max_load(), load.iterations[0]);
+  // The theoretical ratio of thread 0's share to the mean is ~9/5 for
+  // 5 threads on a triangle (1 - (1/5)^2 vs 1/5 of the area).
+  EXPECT_GT(load.imbalance(), 0.5);
+  // Total conserved.
+  i64 total = 0;
+  for (i64 v : load.iterations) total += v;
+  EXPECT_EQ(total, 100 * 101 / 2);
+}
+
+TEST(ThreadStats, OuterStaticOnRectangleIsBalanced) {
+  const ThreadLoad load = outer_static_load(testutil::rectangular(),
+                                            {{"N", 40}, {"M", 7}}, 4);
+  EXPECT_EQ(load.max_load(), load.min_load());
+  EXPECT_DOUBLE_EQ(load.imbalance(), 0.0);
+}
+
+TEST(ThreadStats, CollapsedAlwaysBeatsOuterStaticOnTriangle) {
+  const NestSpec tri = testutil::triangular_strict();
+  for (int threads : {2, 5, 12}) {
+    const ParamMap p{{"N", 200}};
+    const ThreadLoad outer = outer_static_load(tri, p, threads);
+    const ThreadLoad coll =
+        collapsed_static_load(count_domain_brute(tri, p), threads);
+    EXPECT_LT(coll.imbalance(), outer.imbalance()) << threads << " threads";
+  }
+}
+
+TEST(ThreadStats, SummaryStatsOnKnownVector) {
+  ThreadLoad load;
+  load.iterations = {10, 20, 30};
+  EXPECT_EQ(load.max_load(), 30);
+  EXPECT_EQ(load.min_load(), 10);
+  EXPECT_DOUBLE_EQ(load.mean_load(), 20.0);
+  EXPECT_DOUBLE_EQ(load.imbalance(), 0.5);
+}
+
+TEST(ThreadStats, EmptyAndDegenerateInputs) {
+  ThreadLoad empty;
+  EXPECT_EQ(empty.max_load(), 0);
+  EXPECT_DOUBLE_EQ(empty.imbalance(), 0.0);
+  EXPECT_THROW(collapsed_static_load(10, 0), SpecError);
+  EXPECT_THROW(outer_static_load(testutil::rectangular(), {{"N", 2}, {"M", 2}}, 0),
+               SpecError);
+}
+
+TEST(ThreadStats, MoreThreadsThanRows) {
+  const ThreadLoad load = outer_static_load(testutil::triangular_strict(),
+                                            {{"N", 4}}, 8);
+  ASSERT_EQ(load.iterations.size(), 8u);
+  i64 total = 0;
+  for (i64 v : load.iterations) total += v;
+  EXPECT_EQ(total, 6);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,90 @@
+#include "runtime/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+TEST(WarpSim, CoversDomainForVariousWarpSizes) {
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 24}};
+  const CollapsedEval cn = col.bind(p);
+  const auto pts = domain_points(nest, p);
+
+  for (int W : {1, 2, 8, 32, 1000 /* > total: lanes beyond domain idle */}) {
+    std::mutex mu;
+    std::multiset<std::pair<i64, i64>> seen;
+    collapsed_for_warp_sim(
+        cn, W,
+        [&](std::span<const i64> idx) {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.emplace(idx[0], idx[1]);
+        },
+        4);
+    EXPECT_EQ(static_cast<i64>(seen.size()), cn.trip_count()) << "W=" << W;
+    for (const auto& q : pts)
+      EXPECT_EQ(seen.count({q[0], q[1]}), 1u) << "W=" << W;
+  }
+}
+
+TEST(WarpSim, LaneVisitsStrideWRanks) {
+  // Lane l visits ranks l+1, l+1+W, l+1+2W, ... — the coalescing pattern
+  // of §VI-B.
+  const NestSpec nest = testutil::triangular_lower();
+  const Collapsed col = collapse(nest);
+  const CollapsedEval cn = col.bind({{"N", 16}});
+  const int W = 8;
+  std::mutex mu;
+  std::map<i64, std::vector<i64>> ranks_by_lane;
+  collapsed_for_warp_sim(
+      cn, W,
+      [&](std::span<const i64> idx) {
+        const i64 r = cn.rank(idx);
+        std::lock_guard<std::mutex> lock(mu);
+        ranks_by_lane[(r - 1) % W].push_back(r);
+      },
+      2);
+  for (auto& [lane, ranks] : ranks_by_lane) {
+    std::sort(ranks.begin(), ranks.end());
+    EXPECT_EQ(ranks.front(), lane + 1);
+    for (size_t q = 1; q < ranks.size(); ++q)
+      EXPECT_EQ(ranks[q], ranks[q - 1] + W) << "lane " << lane;
+  }
+}
+
+TEST(WarpSim, ConsecutiveRanksAcrossLanesAtEachStep) {
+  // At step s the warp as a whole covers ranks [sW+1, (s+1)W] — the
+  // memory-coalescing property the scheme exists for.  Verified
+  // implicitly by the stride test plus full coverage; here we just check
+  // the first warp-load explicitly with W = total (single step).
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const CollapsedEval cn = col.bind({{"N", 8}});
+  const int W = static_cast<int>(cn.trip_count());
+  std::mutex mu;
+  std::set<i64> first_step;
+  collapsed_for_warp_sim(
+      cn, W,
+      [&](std::span<const i64> idx) {
+        std::lock_guard<std::mutex> lock(mu);
+        first_step.insert(cn.rank(idx));
+      },
+      4);
+  EXPECT_EQ(static_cast<i64>(first_step.size()), cn.trip_count());
+  EXPECT_EQ(*first_step.begin(), 1);
+  EXPECT_EQ(*first_step.rbegin(), cn.trip_count());
+}
+
+TEST(WarpSim, RejectsBadWarpSize) {
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const CollapsedEval cn = col.bind({{"N", 8}});
+  EXPECT_THROW(collapsed_for_warp_sim(cn, 0, [](std::span<const i64>) {}), SpecError);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,55 @@
+// End-to-end smoke test: the paper's motivating example (§II/§III).
+#include <gtest/gtest.h>
+
+#include "nrcollapse.hpp"
+
+namespace nrc {
+namespace {
+
+NestSpec correlation_nest() {
+  NestSpec nest;
+  nest.param("N")
+      .loop("i", aff::c(0), aff::v("N") - 1)
+      .loop("j", aff::v("i") + 1, aff::v("N"));
+  return nest;
+}
+
+TEST(Smoke, CorrelationRankingPolynomial) {
+  const RankingSystem rs = build_ranking_system(correlation_nest());
+  // r(i,j) = (2iN + 2j - i^2 - 3i) / 2   (paper §III)
+  const Polynomial expect =
+      (Polynomial::variable("i") * Polynomial::variable("N") * Rational(2) +
+       Polynomial::variable("j") * Rational(2) -
+       Polynomial::variable("i").pow(2) - Polynomial::variable("i") * Rational(3)) /
+      Rational(2);
+  EXPECT_EQ(rs.rank, expect) << rs.rank.str();
+  // total = (N-1)N/2
+  const Polynomial total =
+      (Polynomial::variable("N").pow(2) - Polynomial::variable("N")) / Rational(2);
+  EXPECT_EQ(rs.total, total) << rs.total.str();
+}
+
+TEST(Smoke, CorrelationRoundTrip) {
+  const Collapsed col = collapse(correlation_nest());
+  EXPECT_TRUE(col.fully_closed_form()) << col.describe();
+  const auto rep = validate_collapsed(col, {{"N", 30}});
+  EXPECT_TRUE(rep.ok) << rep.first_error;
+  EXPECT_EQ(rep.points_checked, 29 * 30 / 2);
+}
+
+TEST(Smoke, Fig6TetrahedralRoundTrip) {
+  NestSpec nest;
+  nest.param("N")
+      .loop("i", aff::c(0), aff::v("N") - 1)
+      .loop("j", aff::c(0), aff::v("i") + 1)
+      .loop("k", aff::v("j"), aff::v("i") + 1);
+  const Collapsed col = collapse(nest);
+  const auto rep = validate_collapsed(col, {{"N", 12}});
+  EXPECT_TRUE(rep.ok) << rep.first_error << "\n" << col.describe();
+  // total = (N^3 - N)/6 (paper §IV-C)
+  std::map<std::string, i64> p{{"N", 12}};
+  EXPECT_EQ(col.ranking().total.eval_i128(p), (12 * 12 * 12 - 12) / 6);
+}
+
+}  // namespace
+}  // namespace nrc

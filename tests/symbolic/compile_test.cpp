@@ -1,0 +1,81 @@
+#include "symbolic/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nrc {
+namespace {
+
+const std::vector<std::string> kOrder = {"x", "y"};
+
+cld eval(const Expr& e, i64 x, i64 y) {
+  const CompiledExpr ce(e, kOrder);
+  const i64 pt[] = {x, y};
+  return ce.eval({pt, 2});
+}
+
+TEST(CompiledExpr, ConstantsAndPolys) {
+  EXPECT_NEAR(static_cast<double>(eval(Expr::constant(Rational(3, 4)), 0, 0).real()), 0.75,
+              1e-15);
+  const Expr p = Expr::poly(Polynomial::variable("x") * Polynomial::variable("y") +
+                            Polynomial(2));
+  EXPECT_NEAR(static_cast<double>(eval(p, 3, 5).real()), 17.0, 1e-12);
+}
+
+TEST(CompiledExpr, Arithmetic) {
+  const Expr x = Expr::variable("x");
+  const Expr y = Expr::variable("y");
+  EXPECT_NEAR(static_cast<double>(eval(x + y * y, 2, 3).real()), 11.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(eval(x - y, 2, 3).real()), -1.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(eval(x / y, 1, 4).real()), 0.25, 1e-12);
+  EXPECT_NEAR(static_cast<double>(eval(-x, 2, 0).real()), -2.0, 1e-12);
+}
+
+TEST(CompiledExpr, SqrtOfNegativeIsComplex) {
+  const Expr e = Expr::variable("x").sqrt();
+  const cld v = eval(e, -4, 0);
+  EXPECT_NEAR(static_cast<double>(v.real()), 0.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(v.imag()), 2.0, 1e-12);
+}
+
+TEST(CompiledExpr, CbrtPrincipalBranch) {
+  const Expr e = Expr::variable("x").cbrt();
+  EXPECT_NEAR(static_cast<double>(eval(e, 27, 0).real()), 3.0, 1e-12);
+  const cld m = eval(e, -8, 0);
+  EXPECT_NEAR(static_cast<double>(m.real()), 1.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(m.imag()), std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(static_cast<double>(eval(e, 0, 0).real()), 0.0, 1e-12);
+}
+
+TEST(CompiledExpr, CisValue) {
+  const Expr w = Expr::cis(1, 3);  // e^{2 pi i/3}
+  const cld v = eval(w, 0, 0);
+  EXPECT_NEAR(static_cast<double>(v.real()), -0.5, 1e-12);
+  EXPECT_NEAR(static_cast<double>(v.imag()), std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(CompiledExpr, SharedSubtreeEvaluatedOnce) {
+  // (x+y) * (x+y): the shared node must appear once in the program.
+  const Expr s = Expr::variable("x") + Expr::variable("y");
+  const CompiledExpr ce(s * s, kOrder);
+  // 3 instructions: poly(x), poly(y) fold? x and y are separate poly
+  // leaves; s = add; mul: 4 instructions total (x, y, add, mul).
+  EXPECT_EQ(ce.size(), 4u);
+}
+
+TEST(CompiledExpr, EmptyEvalThrows) {
+  CompiledExpr ce;
+  const i64 pt[] = {0};
+  EXPECT_THROW(ce.eval({pt, 1}), SolveError);
+  EXPECT_TRUE(ce.empty());
+}
+
+TEST(CompiledExpr, DivisionByZeroGivesNonFinite) {
+  const Expr e = Expr::constant(1) / Expr::variable("x");
+  const cld v = eval(e, 0, 0);
+  EXPECT_FALSE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,71 @@
+#include "symbolic/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nrc {
+namespace {
+
+TEST(Expr, EmptyAndDereference) {
+  Expr e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_THROW(e.node(), SolveError);
+  EXPECT_FALSE(Expr::constant(1).empty());
+}
+
+TEST(Expr, ConstantFolding) {
+  const Expr a = Expr::constant(Rational(1, 2));
+  const Expr b = Expr::constant(Rational(1, 3));
+  EXPECT_EQ((a + b).node().op, ExprOp::Const);
+  EXPECT_EQ((a + b).node().cval, Rational(5, 6));
+  EXPECT_EQ((a * b).node().cval, Rational(1, 6));
+  EXPECT_EQ((a - b).node().cval, Rational(1, 6));
+  EXPECT_EQ((a / b).node().cval, Rational(3, 2));
+  EXPECT_EQ((-a).node().cval, Rational(-1, 2));
+}
+
+TEST(Expr, IdentityFolding) {
+  const Expr x = Expr::variable("x");
+  EXPECT_EQ((x + Expr::constant(0)).ptr().get(), x.ptr().get());
+  EXPECT_EQ((Expr::constant(0) + x).ptr().get(), x.ptr().get());
+  EXPECT_EQ((x * Expr::constant(1)).ptr().get(), x.ptr().get());
+  EXPECT_EQ((x * Expr::constant(0)).node().cval, Rational(0));
+  EXPECT_EQ((x / Expr::constant(1)).ptr().get(), x.ptr().get());
+}
+
+TEST(Expr, DivisionByConstZeroThrows) {
+  EXPECT_THROW(Expr::variable("x") / Expr::constant(0), SolveError);
+}
+
+TEST(Expr, CisNormalization) {
+  // cis(0, n) folds to 1; cis(k, n) stores k mod n.
+  EXPECT_EQ(Expr::cis(0, 3).node().op, ExprOp::Const);
+  EXPECT_EQ(Expr::cis(3, 3).node().op, ExprOp::Const);
+  const Expr w = Expr::cis(4, 3);
+  EXPECT_EQ(w.node().op, ExprOp::Cis);
+  EXPECT_EQ(w.node().cis_k, 1);
+  EXPECT_THROW(Expr::cis(1, 0), SolveError);
+}
+
+TEST(Expr, PolyLeafConstantFoldsToConst) {
+  const Expr c = Expr::poly(Polynomial(7));
+  EXPECT_EQ(c.node().op, ExprOp::Const);
+  EXPECT_EQ(c.node().cval, Rational(7));
+  const Expr p = Expr::poly(Polynomial::variable("n") + Polynomial(1));
+  EXPECT_EQ(p.node().op, ExprOp::Poly);
+}
+
+TEST(Expr, TreeStructureAndStr) {
+  const Expr x = Expr::variable("x");
+  const Expr e = (x * x - Expr::constant(4)).sqrt() / Expr::constant(2);
+  EXPECT_EQ(e.node().op, ExprOp::Div);
+  EXPECT_NE(e.str().find("sqrt"), std::string::npos);
+}
+
+TEST(Expr, SharedSubtrees) {
+  const Expr x = Expr::variable("x");
+  const Expr s = x + x;
+  EXPECT_EQ(s.node().a.get(), s.node().b.get());
+}
+
+}  // namespace
+}  // namespace nrc

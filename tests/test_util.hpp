@@ -1,0 +1,178 @@
+#pragma once
+// Shared helpers for the nrcollapse test suite: the menagerie of nest
+// shapes the property tests sweep over.
+
+#include <string>
+#include <vector>
+
+#include "nrcollapse.hpp"
+
+namespace nrc::testutil {
+
+struct ShapeCase {
+  std::string name;
+  NestSpec nest;
+};
+
+/// Paper Fig. 1 (outer two loops): strict upper triangle.
+inline NestSpec triangular_strict() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N") - 1)
+      .loop("j", aff::v("i") + 1, aff::v("N"));
+  return n;
+}
+
+/// Inclusive triangle (covariance shape).
+inline NestSpec triangular_inclusive() {
+  NestSpec n;
+  n.param("N").loop("i", aff::c(0), aff::v("N")).loop("j", aff::v("i"), aff::v("N"));
+  return n;
+}
+
+/// Lower triangle, j <= i.
+inline NestSpec triangular_lower() {
+  NestSpec n;
+  n.param("N").loop("i", aff::c(0), aff::v("N")).loop("j", aff::c(0), aff::v("i") + 1);
+  return n;
+}
+
+/// Paper Fig. 6: tetrahedral 3-deep nest (cubic level equation).
+inline NestSpec tetrahedral_fig6() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N") - 1)
+      .loop("j", aff::c(0), aff::v("i") + 1)
+      .loop("k", aff::v("j"), aff::v("i") + 1);
+  return n;
+}
+
+/// Rectangular (constant bounds) — the case OpenMP already handles.
+inline NestSpec rectangular() {
+  NestSpec n;
+  n.param("N").param("M")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::c(0), aff::v("M"));
+  return n;
+}
+
+/// Rhomboidal (parallelogram): shifted constant-width rows.
+inline NestSpec rhomboidal() {
+  NestSpec n;
+  n.param("N").param("M")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("i") + aff::v("M"));
+  return n;
+}
+
+/// Trapezoidal: rows grow with the outer index.
+inline NestSpec trapezoidal() {
+  NestSpec n;
+  n.param("N").param("M")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::c(0), aff::v("M") + aff::v("i"));
+  return n;
+}
+
+/// Trapezoidal with skewed lower bound and 2x growth.
+inline NestSpec trapezoidal_skewed() {
+  NestSpec n;
+  n.param("T").param("N")
+      .loop("i", aff::c(0), aff::v("T"))
+      .loop("j", aff::v("i"), aff::v("N") + 2 * aff::v("i"));
+  return n;
+}
+
+/// 3-deep: triangle over a rectangle (mixed).
+inline NestSpec tri_rect_3d() {
+  NestSpec n;
+  n.param("N").param("M")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("N"))
+      .loop("k", aff::c(0), aff::v("M"));
+  return n;
+}
+
+/// 3-deep full tetrahedron 0 <= i <= j <= k < N.
+inline NestSpec tetrahedral_ordered() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("N"))
+      .loop("k", aff::v("j"), aff::v("N"));
+  return n;
+}
+
+/// 3-deep with a bound depending on two outer iterators (paper §IV-B
+/// mentions for(k=0;k<i+j;k++); shifted so ranges are never empty).
+inline NestSpec sum_bound_3d() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::c(0), aff::v("N"))
+      .loop("k", aff::c(0), aff::v("i") + aff::v("j") + 1);
+  return n;
+}
+
+/// 4-deep simplex: the deepest dependency chain whose level equation
+/// still has degree 4 (the paper's closed-form limit).
+inline NestSpec simplex_4d() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("N"))
+      .loop("k", aff::v("j"), aff::v("N"))
+      .loop("l", aff::v("k"), aff::v("N"));
+  return n;
+}
+
+/// 5-deep simplex: level-0 equation has degree 5 — beyond the paper's
+/// closed-form limit; exercised via search fallback.
+inline NestSpec simplex_5d() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("N"))
+      .loop("k", aff::v("j"), aff::v("N"))
+      .loop("l", aff::v("k"), aff::v("N"))
+      .loop("m", aff::v("l"), aff::v("N"));
+  return n;
+}
+
+/// Non-zero constant lower bounds plus parameter offsets.
+inline NestSpec shifted_bounds() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(3), aff::v("N") + 3)
+      .loop("j", aff::v("i") - 2, aff::v("N") + aff::v("i"));
+  return n;
+}
+
+/// All shapes that satisfy the model for the given uniform parameter
+/// value, with every level degree <= 4 (closed-form eligible).
+inline std::vector<ShapeCase> closed_form_shapes() {
+  return {
+      {"triangular_strict", triangular_strict()},
+      {"triangular_inclusive", triangular_inclusive()},
+      {"triangular_lower", triangular_lower()},
+      {"tetrahedral_fig6", tetrahedral_fig6()},
+      {"rectangular", rectangular()},
+      {"rhomboidal", rhomboidal()},
+      {"trapezoidal", trapezoidal()},
+      {"trapezoidal_skewed", trapezoidal_skewed()},
+      {"tri_rect_3d", tri_rect_3d()},
+      {"tetrahedral_ordered", tetrahedral_ordered()},
+      {"sum_bound_3d", sum_bound_3d()},
+      {"simplex_4d", simplex_4d()},
+      {"shifted_bounds", shifted_bounds()},
+  };
+}
+
+/// Uniform parameter map for a nest.
+inline ParamMap uniform_params(const NestSpec& nest, i64 v) {
+  ParamMap p;
+  for (const auto& name : nest.params()) p[name] = v;
+  return p;
+}
+
+}  // namespace nrc::testutil

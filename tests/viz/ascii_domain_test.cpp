@@ -1,0 +1,98 @@
+#include "viz/ascii_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+/// Glyph counts over the picture body (skipping the header line, whose
+/// coordinate text also contains digits).
+std::map<char, int> body_glyph_counts(const std::string& pic) {
+  const auto ls = lines_of(pic);
+  std::map<char, int> counts;
+  for (size_t r = 1; r < ls.size(); ++r)
+    for (char ch : ls[r])
+      if (ch != '.') ++counts[ch];
+  return counts;
+}
+
+TEST(AsciiDomain, TriangleOuterStaticShowsSkew) {
+  viz::RenderOptions opt;
+  opt.threads = 5;
+  const std::string pic = viz::render_domain(testutil::triangular_strict(), {{"N", 11}},
+                                             viz::Assignment::OuterStatic, opt);
+  const auto ls = lines_of(pic);
+  ASSERT_EQ(ls.size(), 1u + 10u);  // header + rows i = 0..9
+  // First row (i = 0): thread 0 owns the full j range 1..10 (the grid
+  // starts at jmin = 1, so there is no leading dot).
+  EXPECT_EQ(ls[1], "0000000000");
+  // Last row: single surviving cell, owned by the last thread.
+  EXPECT_EQ(ls[10].back(), '4');
+  const auto counts = body_glyph_counts(pic);
+  // Thread 0 (rows 0..1) owns far more than thread 4 (rows 8..9).
+  EXPECT_GT(counts.at('0'), 4 * counts.at('4'));
+}
+
+TEST(AsciiDomain, TriangleCollapsedIsBalanced) {
+  viz::RenderOptions opt;
+  opt.threads = 5;
+  const std::string pic = viz::render_domain(testutil::triangular_strict(), {{"N", 11}},
+                                             viz::Assignment::CollapsedStatic, opt);
+  // 55 points over 5 threads: each owns exactly 11 cells.
+  const auto counts = body_glyph_counts(pic);
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [g, n] : counts) EXPECT_EQ(n, 11) << g;
+}
+
+TEST(AsciiDomain, RhomboidRowsAreShifted) {
+  const std::string pic = viz::render_domain(testutil::rhomboidal(), {{"N", 6}, {"M", 4}},
+                                             viz::Assignment::OuterStatic, {});
+  const auto ls = lines_of(pic);
+  // Row i starts at column i: leading dots grow by one per row.
+  for (size_t r = 1; r < ls.size(); ++r) {
+    EXPECT_EQ(ls[r].find_first_not_of('.'), r - 1) << pic;
+  }
+}
+
+TEST(AsciiDomain, ErrorsAndEdges) {
+  EXPECT_THROW(viz::render_domain(testutil::tetrahedral_fig6(), {{"N", 5}},
+                                  viz::Assignment::OuterStatic, {}),
+               SpecError);  // depth 3
+  viz::RenderOptions tiny;
+  tiny.max_cells = 4;
+  EXPECT_THROW(viz::render_domain(testutil::triangular_strict(), {{"N", 12}},
+                                  viz::Assignment::OuterStatic, tiny),
+               SpecError);
+  viz::RenderOptions bad;
+  bad.threads = 0;
+  EXPECT_THROW(viz::render_domain(testutil::triangular_strict(), {{"N", 6}},
+                                  viz::Assignment::OuterStatic, bad),
+               SpecError);
+  const std::string empty = viz::render_domain(testutil::triangular_strict(), {{"N", 1}},
+                                               viz::Assignment::OuterStatic, {});
+  EXPECT_EQ(empty, "(empty domain)\n");
+}
+
+TEST(AsciiDomain, ManyThreadsUseLetterGlyphs) {
+  viz::RenderOptions opt;
+  opt.threads = 12;
+  const std::string pic = viz::render_domain(testutil::triangular_inclusive(), {{"N", 16}},
+                                             viz::Assignment::CollapsedStatic, opt);
+  EXPECT_NE(pic.find('a'), std::string::npos);  // thread 10
+  EXPECT_NE(pic.find('b'), std::string::npos);  // thread 11
+}
+
+}  // namespace
+}  // namespace nrc
