@@ -1,0 +1,218 @@
+// recovery_ns — nanoseconds per recovered iteration, per recovery engine.
+//
+// Measures the cost the §V schemes amortize per chunk: one full
+// closed-form recovery, across
+//
+//   interpreter — the seed CompiledExpr engine (complex arithmetic,
+//                 heap-allocated value vector): recover_interpreted()
+//   engine      — the compiled engine (degree-specialized solvers +
+//                 RecoveryProgram bytecode): recover()
+//   block64     — recover_block() amortized over 64 consecutive pcs
+//   search      — exact binary search: recover_search()
+//   newton      — safeguarded Newton: NewtonUnranker::recover()
+//
+// Random pcs (fixed-seed LCG) spread probes across the domain so branch
+// history and guard behaviour match production chunk starts.  Results go
+// to stdout and BENCH_recovery.json (ns per recovered iteration, per
+// scheme) so successive PRs have a perf trajectory.  Exit status is
+// non-zero when the compiled engine fails the >= 3x target against the
+// interpreter on the correlation or tetrahedral nests.
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nrcollapse.hpp"
+
+using namespace nrc;
+
+namespace {
+
+struct BenchNest {
+  std::string name;
+  NestSpec nest;
+  ParamMap params;
+  bool gate = false;  ///< participates in the >= 3x acceptance check
+};
+
+std::vector<BenchNest> bench_nests() {
+  std::vector<BenchNest> v;
+  {
+    NestSpec n;  // correlation outer pair (paper Fig. 1): quadratic level
+    n.param("N")
+        .loop("i", aff::c(0), aff::v("N") - 1)
+        .loop("j", aff::v("i") + 1, aff::v("N"));
+    v.push_back({"correlation", n, {{"N", 2000}}, true});
+  }
+  {
+    NestSpec n;  // paper Fig. 6: cubic level -> guarded real Cardano
+    n.param("N")
+        .loop("i", aff::c(0), aff::v("N") - 1)
+        .loop("j", aff::c(0), aff::v("i") + 1)
+        .loop("k", aff::v("j"), aff::v("i") + 1);
+    v.push_back({"tetrahedral", n, {{"N", 260}}, true});
+  }
+  {
+    NestSpec n;  // 4-deep simplex: quartic level -> bytecode Ferrari
+    n.param("N")
+        .loop("i", aff::c(0), aff::v("N"))
+        .loop("j", aff::v("i"), aff::v("N"))
+        .loop("k", aff::v("j"), aff::v("N"))
+        .loop("l", aff::v("k"), aff::v("N"));
+    v.push_back({"simplex4", n, {{"N", 120}}});
+  }
+  {
+    NestSpec n;  // rectangular: degree-1 levels -> exact integer division
+    n.param("N").param("M")
+        .loop("i", aff::c(0), aff::v("N"))
+        .loop("j", aff::c(0), aff::v("M"));
+    v.push_back({"rectangular", n, {{"N", 1500}, {"M", 1500}}});
+  }
+  return v;
+}
+
+/// Deterministic pc sequence spread over [1, total].
+std::vector<i64> probe_pcs(i64 total, size_t n) {
+  std::vector<i64> pcs(n);
+  u64 state = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    pcs[i] = static_cast<i64>(1 + (state >> 17) % static_cast<u64>(total));
+  }
+  return pcs;
+}
+
+/// Best-of-trials wall time for fn() per inner element, in ns.
+template <class Fn>
+double time_ns_per(i64 elements, int trials, Fn&& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const double t0 = omp_get_wtime();
+    fn();
+    const double dt = omp_get_wtime() - t0;
+    best = std::min(best, dt);
+  }
+  return best * 1e9 / static_cast<double>(elements);
+}
+
+volatile i64 g_sink = 0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  const int trials = std::max(3, args.trials);
+
+  struct Row {
+    std::string name;
+    i64 trip = 0;
+    int depth = 0;
+    double interp = 0, engine = 0, block = 0, search = 0, newton = 0;
+    bool gate = false;
+  };
+  std::vector<Row> rows;
+
+  for (const BenchNest& bn : bench_nests()) {
+    const Collapsed col = collapse(bn.nest);
+    const CollapsedEval cn = col.bind(bn.params);
+    const RankingSystem rs = build_ranking_system(bn.nest);
+    const NewtonUnranker nu(rs, bn.params);
+
+    const size_t d = static_cast<size_t>(cn.depth());
+    const size_t nprobes = 20000;
+    const std::vector<i64> pcs = probe_pcs(cn.trip_count(), nprobes);
+
+    Row row;
+    row.name = bn.name;
+    row.trip = cn.trip_count();
+    row.depth = cn.depth();
+    row.gate = bn.gate;
+
+    i64 idx[kMaxDepth];
+    i64 sink = 0;
+    row.interp = time_ns_per(static_cast<i64>(nprobes), trials, [&] {
+      for (const i64 pc : pcs) {
+        cn.recover_interpreted(pc, {idx, d});
+        sink += idx[0];
+      }
+    });
+    row.engine = time_ns_per(static_cast<i64>(nprobes), trials, [&] {
+      for (const i64 pc : pcs) {
+        cn.recover(pc, {idx, d});
+        sink += idx[0];
+      }
+    });
+    constexpr i64 kBlock = 64;
+    i64 block_buf[kBlock * kMaxDepth];
+    row.block = time_ns_per(static_cast<i64>(nprobes) * kBlock, trials, [&] {
+      for (const i64 pc : pcs) {
+        const i64 lo = std::min<i64>(pc, std::max<i64>(1, cn.trip_count() - kBlock + 1));
+        const i64 got =
+            cn.recover_block(lo, kBlock, {block_buf, kBlock * d});
+        sink += block_buf[static_cast<size_t>(got - 1) * d];
+      }
+    });
+    row.search = time_ns_per(static_cast<i64>(nprobes), trials, [&] {
+      for (const i64 pc : pcs) {
+        cn.recover_search(pc, {idx, d});
+        sink += idx[0];
+      }
+    });
+    row.newton = time_ns_per(static_cast<i64>(nprobes), trials, [&] {
+      for (const i64 pc : pcs) {
+        nu.recover(pc, {idx, d});
+        sink += idx[0];
+      }
+    });
+    g_sink = g_sink + sink;
+    rows.push_back(row);
+  }
+
+  std::printf("== recovery_ns: ns per recovered iteration (best of %d trials) ==\n\n",
+              trials);
+  std::printf("%-14s %6s %12s | %12s %12s %12s %12s %12s | %8s\n", "nest", "depth",
+              "trip", "interp[ns]", "engine[ns]", "block64[ns]", "search[ns]",
+              "newton[ns]", "speedup");
+  bench::rule(118);
+  bool gate_ok = true;
+  for (const Row& r : rows) {
+    const double speedup = r.interp / r.engine;
+    std::printf("%-14s %6d %12lld | %12.1f %12.1f %12.2f %12.1f %12.1f | %7.2fx\n",
+                r.name.c_str(), r.depth, static_cast<long long>(r.trip), r.interp,
+                r.engine, r.block, r.search, r.newton, speedup);
+    if (r.gate && speedup < 3.0) gate_ok = false;
+  }
+  bench::rule(118);
+  std::printf(
+      "speedup = interpreter / engine (full closed-form recovery).  block64 is\n"
+      "recover_block amortized over 64 consecutive pcs — the per-iteration cost\n"
+      "the chunked schemes actually pay.\n");
+
+  if (FILE* f = std::fopen("BENCH_recovery.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"recovery_ns\",\n  \"unit\": \"ns_per_recovered_iteration\",\n  \"nests\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"depth\": %d, \"trip_count\": %lld, "
+                   "\"schemes\": {\"interpreter\": %.2f, \"engine\": %.2f, "
+                   "\"block64\": %.3f, \"search\": %.2f, \"newton\": %.2f}, "
+                   "\"speedup_engine_vs_interpreter\": %.3f}%s\n",
+                   r.name.c_str(), r.depth, static_cast<long long>(r.trip), r.interp,
+                   r.engine, r.block, r.search, r.newton, r.interp / r.engine,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_recovery.json\n");
+  }
+
+  if (!gate_ok) {
+    std::printf("FAIL: compiled engine below the 3x target on a gated nest\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,11 +1,70 @@
 #include "core/collapse.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "support/error.hpp"
 #include "symbolic/print_c.hpp"
 
 namespace nrc {
+
+namespace {
+
+/// Floor division of exact 128-bit values, narrowed to the index range.
+i64 floor_div_i128_to_i64(i128 a, i128 b) {
+  i128 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return narrow_i64(q);
+}
+
+/// Static classification of the solver bind() will pick for a level
+/// (bind can still demote Program to Interpreted on register pressure).
+LevelSolverKind planned_solver(const LevelFormula& lf, int level, int depth) {
+  if (level == depth - 1) return LevelSolverKind::InnermostLinear;
+  if (lf.branch < 0) return LevelSolverKind::Search;
+  if (lf.degree == 1) return LevelSolverKind::ExactDivision;
+  if (lf.degree == 2) return LevelSolverKind::Quadratic;
+  if (lf.degree == 3) return LevelSolverKind::Cubic;
+  return LevelSolverKind::Program;
+}
+
+/// Substitute concrete parameter values into a polynomial so the runtime
+/// evaluation touches only loop-variable and pc slots.  Astronomically
+/// large parameters can push folded coefficients past the exact int64
+/// coefficient range; in that case keep the unfolded polynomial (the
+/// runtime ipow path handles it with its own overflow checks).
+Polynomial fold_params(const Polynomial& p, const ParamMap& params) {
+  try {
+    Polynomial q = p;
+    for (const auto& [name, val] : params) q = q.substitute(name, Polynomial(val));
+    return q;
+  } catch (const OverflowError&) {
+    return p;
+  }
+}
+
+}  // namespace
+
+const char* level_solver_kind_name(LevelSolverKind k) {
+  switch (k) {
+    case LevelSolverKind::InnermostLinear:
+      return "innermost-linear";
+    case LevelSolverKind::ExactDivision:
+      return "exact-division";
+    case LevelSolverKind::Quadratic:
+      return "guarded-quadratic";
+    case LevelSolverKind::Cubic:
+      return "guarded-cubic";
+    case LevelSolverKind::Program:
+      return "bytecode-program";
+    case LevelSolverKind::Interpreted:
+      return "interpreted";
+    case LevelSolverKind::Search:
+      return "binary-search";
+  }
+  return "?";
+}
 
 struct Collapsed::Impl {
   RankingSystem rs;
@@ -62,7 +121,8 @@ std::string Collapsed::describe() const {
   s += "collapsed nest:\n" + rs.nest.str();
   s += "ranking polynomial r = " + rs.rank.str() + "\n";
   s += "trip count = " + rs.total.str() + "\n";
-  for (int k = 0; k < rs.nest.depth(); ++k) {
+  const int c = rs.nest.depth();
+  for (int k = 0; k < c; ++k) {
     const LevelFormula& lf = impl_->levels[static_cast<size_t>(k)];
     s += "level " + std::to_string(k) + " (" + rs.nest.at(k).var +
          "): degree " + std::to_string(lf.degree);
@@ -72,6 +132,8 @@ std::string Collapsed::describe() const {
     } else {
       s += ", recovered by exact binary search\n";
     }
+    s += "    lowered solver: " +
+         std::string(level_solver_kind_name(planned_solver(lf, k, c))) + "\n";
   }
   return s;
 }
@@ -96,41 +158,59 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
     if (it != params.end()) ev.base_[s] = it->second;
   }
 
-  // Fold parameters into the affine bounds; only loop-var slots remain.
-  auto fold = [&](const AffineExpr& a) {
-    CollapsedEval::Bound b;
-    b.cst = a.constant_term();
-    for (const auto& [v, co] : a.coefficients()) {
-      auto it = params.find(v);
-      if (it != params.end()) {
-        b.cst = checked_add_i64(b.cst, checked_mul_i64(co, it->second));
-        continue;
-      }
-      bool found = false;
-      for (int k = 0; k < c; ++k) {
-        if (spec.at(k).var == v) {
-          b.add_term(k, co);
-          found = true;
-          break;
-        }
-      }
-      if (!found) throw SpecError("bind: unbound variable '" + v + "' in a loop bound");
-    }
-    return b;
-  };
   for (int k = 0; k < c; ++k) {
-    ev.bounds_lo_.push_back(fold(spec.at(k).lower));
-    ev.bounds_hi_.push_back(fold(spec.at(k).upper));
+    ev.bounds_lo_.push_back(FoldedBound::fold(spec.at(k).lower, spec, params));
+    ev.bounds_hi_.push_back(FoldedBound::fold(spec.at(k).upper, spec, params));
   }
 
-  for (int k = 0; k < c; ++k)
-    ev.prank_.emplace_back(im.rs.prefix_rank[static_cast<size_t>(k)], im.slots);
+  // Engine rank polynomials get the parameters folded in (fewer terms,
+  // no runtime parameter powers); the seed-baseline interpreter keeps the
+  // unfolded originals so recover_interpreted() measures the seed cost.
+  for (int k = 0; k < c; ++k) {
+    const Polynomial& R = im.rs.prefix_rank[static_cast<size_t>(k)];
+    ev.prank_.emplace_back(fold_params(R, params), im.slots);
+    ev.prank_interp_.emplace_back(R, im.slots);
+  }
 
   ev.closed_.resize(static_cast<size_t>(c));
   for (int k = 0; k < c; ++k) {
     const LevelFormula& lf = im.levels[static_cast<size_t>(k)];
     if (lf.branch >= 0)
       ev.closed_[static_cast<size_t>(k)] = CompiledExpr(lf.root, im.slots);
+  }
+
+  // Lower every level's recovery into the cheapest exact engine.  The
+  // scaled coefficients A_e = D * a_e (D = common denominator) have
+  // integer monomial coefficients, so they are integer-valued on integer
+  // points and CompiledPoly evaluates them exactly; they feed both the
+  // degree-specialized solvers and the Horner correction guard.
+  ev.solvers_.resize(static_cast<size_t>(c));
+  for (int k = 0; k < c; ++k) {
+    CollapsedEval::LevelSolver& sv = ev.solvers_[static_cast<size_t>(k)];
+    const LevelFormula& lf = im.levels[static_cast<size_t>(k)];
+    sv.kind = planned_solver(lf, k, c);
+    if (k == c - 1 || lf.branch < 0) continue;
+
+    sv.branch = lf.branch;
+    try {
+      i64 den = 1;
+      for (const auto& a : lf.coeffs) den = lcm_i64(den, a.denominator_lcm());
+      for (const auto& a : lf.coeffs)
+        sv.scaled.emplace_back(fold_params(a * Rational(den), params), im.slots);
+    } catch (const OverflowError&) {
+      // Scaling left the exact int64 coefficient range; without guard
+      // coefficients no specialized solver can run, so this level
+      // degrades to exact binary search — and solver_kind() reports it
+      // truthfully (solve_level's early exit handles empty scaled).
+      sv.scaled.clear();
+      sv.kind = LevelSolverKind::Search;
+      continue;
+    }
+
+    if (sv.kind == LevelSolverKind::Program) {
+      sv.program = RecoveryProgram(lf.root, im.slots, params);
+      if (!sv.program.compiled()) sv.kind = LevelSolverKind::Interpreted;
+    }
   }
 
   std::map<std::string, i64> pv(params.begin(), params.end());
@@ -141,7 +221,8 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
 }
 
 i64 CollapsedEval::rank(std::span<const i64> idx) const {
-  std::array<i64, kMaxSlots> pt = base_;
+  std::array<i64, kMaxSlots> pt;
+  std::memcpy(pt.data(), base_.data(), nslots_ * sizeof(i64));
   for (int k = 0; k < c_; ++k) pt[static_cast<size_t>(k)] = idx[static_cast<size_t>(k)];
   return narrow_i64(prank_[static_cast<size_t>(c_) - 1].eval_i128(
       std::span<const i64>(pt.data(), nslots_)));
@@ -171,7 +252,199 @@ i64 CollapsedEval::search_level(int k, std::span<i64> pt, i64 pc) const {
   return lo;
 }
 
+/// Correct a floating-point index estimate against the exact level
+/// equation.  A(t) = sum A[e] * t^e satisfies A(t) <= 0 iff
+/// rank(prefix, t) <= pc, so the boundary test is an O(degree) Horner
+/// evaluation instead of a full rank-polynomial evaluation; the solver
+/// passes the coefficient values it already evaluated.
+i64 CollapsedEval::guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                               const i128* A, int deg, RecoveryStats* stats) const {
+  const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
+  const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
+
+  i64 x = estimate;
+  if (x < lb) x = lb;
+  if (x > ub - 1) x = ub - 1;
+
+  auto above = [&](i64 t) {  // A(t) > 0  <=>  rank(prefix, t) > pc
+    i128 v = A[deg];
+    for (int e = deg - 1; e >= 0; --e) v = checked_add(checked_mul(v, t), A[e]);
+    return v > 0;
+  };
+
+  int steps = 0;
+  while (x > lb && above(x) && steps < kMaxCorrection) {
+    --x;
+    ++steps;
+  }
+  while (x < ub - 1 && !above(x + 1) && steps < kMaxCorrection) {
+    ++x;
+    ++steps;
+  }
+  if (steps >= kMaxCorrection) {
+    const i64 val = search_level(k, pt, pc);  // formula was badly off
+    if (stats) ++stats->fallback;
+    return val;
+  }
+  if (stats) ++(steps > 0 ? stats->corrected : stats->closed_form);
+  pt[static_cast<size_t>(k)] = x;
+  return x;
+}
+
+i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
+                               RecoveryStats* stats) const {
+  const LevelSolver& sv = solvers_[static_cast<size_t>(k)];
+  const std::span<const i64> pts(pt.data(), nslots_);
+
+  // No guard coefficients: Search levels, or bind() dropped them on
+  // overflow — only exact binary search can recover those.
+  const int deg = static_cast<int>(sv.scaled.size()) - 1;
+  if (deg < 1) {
+    const i64 val = search_level(k, pt, pc);
+    if (stats) ++stats->fallback;
+    return val;
+  }
+
+  try {
+    i128 A[5];
+    for (int e = 0; e <= deg; ++e) A[e] = sv.scaled[static_cast<size_t>(e)].eval_i128(pts);
+
+    switch (sv.kind) {
+      case LevelSolverKind::ExactDivision: {
+        // A1 * x + A0 <= 0, A1 > 0:  x = floor(-A0 / A1), exactly.
+        if (A[1] <= 0) break;  // slope violates the model here: search
+        const i64 x = floor_div_i128_to_i64(-A[0], A[1]);
+        const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
+        const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
+        if (x < lb || x > ub - 1) break;  // inconsistent pc: search decides
+        if (stats) ++stats->closed_form;
+        pt[static_cast<size_t>(k)] = x;
+        return x;
+      }
+      case LevelSolverKind::Quadratic: {
+        const i128 disc = checked_sub(checked_mul(A[1], A[1]),
+                                      checked_mul(checked_mul(4, A[2]), A[0]));
+        if (disc < 0 || A[2] == 0) break;  // degenerate here: search
+        const long double s = std::sqrt(static_cast<long double>(disc));
+        const long double num = sv.branch == 1 ? -static_cast<long double>(A[1]) - s
+                                               : -static_cast<long double>(A[1]) + s;
+        const long double root = num / (2.0L * static_cast<long double>(A[2]));
+        if (!std::isfinite(root) || root < -9.2e18L || root > 9.2e18L) break;
+        const i64 est = static_cast<i64>(std::floor(root + 1e-9L));
+        return guard_level(k, pt, pc, est, A, deg, stats);
+      }
+      case LevelSolverKind::Cubic: {
+        // Real-arithmetic Cardano, algebraically identical to the branch-k
+        // complex formula u*cis(k,3) - p/(3*u*cis(k,3)) - b/3 that the
+        // symbolic root encodes (only the real part is needed for the
+        // floor).  Three-real-root cubics (negative discriminant) take the
+        // Viete trigonometric form; no complex arithmetic anywhere.
+        if (A[3] == 0) break;
+        const long double a3 = static_cast<long double>(A[3]);
+        const long double b = static_cast<long double>(A[2]) / a3;
+        const long double c = static_cast<long double>(A[1]) / a3;
+        const long double d = static_cast<long double>(A[0]) / a3;
+        const long double p = c - b * b / 3.0L;
+        const long double q = 2.0L * b * b * b / 27.0L - b * c / 3.0L + d;
+        const long double delta = q * q / 4.0L + p * p * p / 27.0L;
+        constexpr long double k2Pi3 = 2.0943951023931954923084289221863353L;
+        long double t;
+        if (delta < 0.0L) {
+          // Three real roots: u = m*cis(phi/3), |u|^2 = -p/3, and the
+          // k-th root collapses to 2*m*cos((phi + 2*pi*k)/3).
+          const long double m = std::sqrt(-p / 3.0L);
+          const long double phi = std::atan2(std::sqrt(-delta), -q / 2.0L);
+          t = 2.0L * m * std::cos((phi + k2Pi3 * static_cast<long double>(sv.branch)) / 3.0L);
+        } else {
+          // One real root: u is real (or pi/3-rotated for negative
+          // radicand under the principal cube root); Re of the k-th
+          // branch is (m - p/(3m)) * cos(theta) with theta a multiple of
+          // pi/3, so the cosine is a constant +-1 or +-1/2.
+          const long double v = -q / 2.0L + std::sqrt(delta);
+          const long double m = std::cbrt(std::fabs(v));
+          static constexpr long double kCosPos[3] = {1.0L, -0.5L, -0.5L};  // v >= 0
+          static constexpr long double kCosNeg[3] = {0.5L, -1.0L, 0.5L};   // v < 0
+          const long double cosw = v < 0.0L ? kCosNeg[sv.branch] : kCosPos[sv.branch];
+          t = (m - p / (3.0L * m)) * cosw;  // m == 0 degenerates to inf: search
+        }
+        const long double root = t - b / 3.0L;
+        if (!std::isfinite(root) || root < -9.2e18L || root > 9.2e18L) break;
+        const i64 est = static_cast<i64>(std::floor(root + 1e-9L));
+        return guard_level(k, pt, pc, est, A, deg, stats);
+      }
+      case LevelSolverKind::Program: {
+        const RootValue z = sv.program.eval(pts);
+        if (!z.finite() || z.re < -9.2e18L || z.re > 9.2e18L) break;
+        const i64 est = static_cast<i64>(std::floor(z.re + 1e-9L));
+        return guard_level(k, pt, pc, est, A, deg, stats);
+      }
+      case LevelSolverKind::Interpreted: {
+        const cld z = closed_[static_cast<size_t>(k)].eval(pts);
+        if (!std::isfinite(z.real()) || !std::isfinite(z.imag()) ||
+            z.real() < -9.2e18L || z.real() > 9.2e18L)
+          break;
+        const i64 est = static_cast<i64>(std::floor(z.real() + 1e-9L));
+        return guard_level(k, pt, pc, est, A, deg, stats);
+      }
+      default:
+        break;
+    }
+  } catch (const OverflowError&) {
+    // Exact arithmetic left the checked range (astronomical parameters):
+    // binary search below is still exact.
+  }
+  const i64 val = search_level(k, pt, pc);
+  if (stats) ++stats->fallback;
+  return val;
+}
+
+/// Innermost index is linear with unit slope: i = lb + (pc - R(prefix, lb)).
+void CollapsedEval::recover_innermost(std::span<i64> pt, std::span<i64> idx, i64 pc,
+                                      const CompiledPoly& inner_rank) const {
+  const int kl = c_ - 1;
+  const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
+  pt[static_cast<size_t>(kl)] = lb;
+  const i64 r0 =
+      narrow_i64(inner_rank.eval_i128(std::span<const i64>(pt.data(), nslots_)));
+  idx[static_cast<size_t>(kl)] = lb + (pc - r0);
+}
+
 void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) const {
+  std::array<i64, kMaxSlots> pt;  // only the live slot prefix is copied
+  std::memcpy(pt.data(), base_.data(), nslots_ * sizeof(i64));
+  pt[pc_slot_] = pc;
+  std::span<i64> pts(pt.data(), nslots_);
+  for (int k = 0; k + 1 < c_; ++k)
+    idx[static_cast<size_t>(k)] = solve_level(k, pts, pc, stats);
+  recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1]);
+}
+
+i64 CollapsedEval::recover_block(i64 pc_lo, i64 n, std::span<i64> out,
+                                 RecoveryStats* stats) const {
+  if (n <= 0) return 0;
+  if (pc_lo < 1 || pc_lo > total_)
+    throw SolveError("recover_block: pc_lo outside [1, trip_count()]");
+  const i64 m = std::min<i64>(n, total_ - pc_lo + 1);
+  const size_t d = static_cast<size_t>(c_);
+  if (out.size() < static_cast<size_t>(m) * d)
+    throw SpecError("recover_block: output span too small for the requested block");
+
+  i64 filled = 0;
+  for_each_row(
+      pc_lo, pc_lo + m - 1,
+      [&](const i64* idx, i64 j_begin, i64 j_end) {
+        for (i64 j = j_begin; j < j_end; ++j) {
+          i64* row = out.data() + static_cast<size_t>(filled++) * d;
+          std::memcpy(row, idx, d * sizeof(i64));
+          row[d - 1] = j;
+        }
+      },
+      stats);
+  return filled;
+}
+
+void CollapsedEval::recover_interpreted(i64 pc, std::span<i64> idx,
+                                        RecoveryStats* stats) const {
   std::array<i64, kMaxSlots> pt = base_;
   pt[pc_slot_] = pc;
   std::span<i64> pts(pt.data(), nslots_);
@@ -194,7 +467,9 @@ void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) co
         if (x < lb) x = lb;
         if (x > ub - 1) x = ub - 1;
         // Exact integer correction: R_k(prefix, x) <= pc < R_k(prefix, x+1).
-        const CompiledPoly& R = prank_[static_cast<size_t>(k)];
+        // Deliberately the unfolded seed polynomial: this path measures
+        // the seed engine.
+        const CompiledPoly& R = prank_interp_[static_cast<size_t>(k)];
         auto rank_at = [&](i64 t) {
           pt[static_cast<size_t>(k)] = t;
           return R.eval_i128(std::span<const i64>(pt.data(), nslots_));
@@ -220,14 +495,7 @@ void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) co
     pt[static_cast<size_t>(k)] = val;
     idx[static_cast<size_t>(k)] = val;
   }
-
-  // Innermost index is linear (unit slope):  i = lb + (pc - R(prefix, lb)).
-  const int kl = c_ - 1;
-  const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
-  pt[static_cast<size_t>(kl)] = lb;
-  const i64 r0 = narrow_i64(prank_[static_cast<size_t>(kl)].eval_i128(
-      std::span<const i64>(pt.data(), nslots_)));
-  idx[static_cast<size_t>(kl)] = lb + (pc - r0);
+  recover_innermost(pts, idx, pc, prank_interp_[static_cast<size_t>(c_) - 1]);
 }
 
 bool CollapsedEval::recover_closed_raw(i64 pc, std::span<i64> idx) const {
@@ -242,17 +510,14 @@ bool CollapsedEval::recover_closed_raw(i64 pc, std::span<i64> idx) const {
     pt[static_cast<size_t>(k)] = x;
     idx[static_cast<size_t>(k)] = x;
   }
-  const int kl = c_ - 1;
-  const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
-  pt[static_cast<size_t>(kl)] = lb;
-  const i64 r0 = narrow_i64(prank_[static_cast<size_t>(kl)].eval_i128(
-      std::span<const i64>(pt.data(), nslots_)));
-  idx[static_cast<size_t>(kl)] = lb + (pc - r0);
+  std::span<i64> pts(pt.data(), nslots_);
+  recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1]);
   return true;
 }
 
 void CollapsedEval::recover_search(i64 pc, std::span<i64> idx) const {
-  std::array<i64, kMaxSlots> pt = base_;
+  std::array<i64, kMaxSlots> pt;
+  std::memcpy(pt.data(), base_.data(), nslots_ * sizeof(i64));
   pt[pc_slot_] = pc;
   std::span<i64> pts(pt.data(), nslots_);
   for (int k = 0; k < c_; ++k) idx[static_cast<size_t>(k)] = search_level(k, pts, pc);
@@ -268,6 +533,20 @@ bool CollapsedEval::increment(std::span<i64> idx) const {
   }
   for (int q = k + 1; q < c_; ++q)
     idx[static_cast<size_t>(q)] = bounds_lo_[static_cast<size_t>(q)].eval(idx.data());
+  return true;
+}
+
+bool CollapsedEval::advance(std::span<i64> idx, i64 n) const {
+  while (n > 0) {
+    const i64 left = row_extent(idx) - 1;  // steps that stay in this row
+    if (n <= left) {
+      idx[static_cast<size_t>(c_ - 1)] += n;
+      return true;
+    }
+    idx[static_cast<size_t>(c_ - 1)] += left;
+    n -= left + 1;
+    if (!increment(idx)) return false;
+  }
   return true;
 }
 

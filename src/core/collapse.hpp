@@ -14,7 +14,20 @@
 // equations, convenient root formulas) and is what the code generator
 // consumes; `CollapsedEval` is the allocation-free runtime evaluator the
 // OpenMP execution schemes are built on.
+//
+// bind() lowers every level's recovery into the cheapest engine that is
+// exact for it:
+//   * degree-1 levels solve by one exact integer floor-division,
+//   * degree-2 levels by the guarded quadratic formula on exactly
+//     evaluated integer coefficients,
+//   * degree-3/4 levels by a RecoveryProgram — flat real-valued bytecode
+//     with the parameters constant-folded in (complex instructions only
+//     where a Cardano/Ferrari branch needs them),
+//   * levels without a usable formula by exact binary search.
+// Every floating-point estimate is corrected against the exact integer
+// level equation, so recover() never returns a wrong tuple.
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <optional>
@@ -22,16 +35,15 @@
 #include <string>
 #include <vector>
 
+#include "core/folded_bound.hpp"
 #include "core/ranking.hpp"
+#include "core/runtime_limits.hpp"
 #include "core/unrank_closed.hpp"
 #include "polyhedral/domain.hpp"
 #include "symbolic/compile.hpp"
+#include "symbolic/recovery_program.hpp"
 
 namespace nrc {
-
-/// Hard limits of the runtime fast path (symbolic machinery is unbounded).
-inline constexpr int kMaxDepth = 12;
-inline constexpr int kMaxSlots = 40;
 
 struct CollapseOptions {
   /// Build closed-form recoveries (paper §IV).  When false, recovery
@@ -68,7 +80,7 @@ class Collapsed {
   CollapsedEval bind(const ParamMap& params) const;
 
   /// Human-readable report: ranking polynomial, trip count, per-level
-  /// recovery formulas.
+  /// recovery formulas and the solver each level lowers to at bind time.
   std::string describe() const;
 
  private:
@@ -84,7 +96,7 @@ Collapsed collapse(const NestSpec& nest, const CollapseOptions& opts = {});
 /// Per-recovery observability counters (optional; pass to recover()).
 /// Plain integers: keep one instance per thread and merge.
 struct RecoveryStats {
-  i64 closed_form = 0;  ///< levels recovered by the root formula directly
+  i64 closed_form = 0;  ///< levels recovered by the closed form directly
   i64 corrected = 0;    ///< levels where the integer guard moved the index
   i64 fallback = 0;     ///< levels recovered by exact binary search
   i64 levels() const { return closed_form + corrected + fallback; }
@@ -96,6 +108,20 @@ struct RecoveryStats {
   }
 };
 
+/// The engine a level's recovery lowered to at bind() time.
+enum class LevelSolverKind {
+  InnermostLinear,  ///< innermost level: lb + (pc - rank(prefix, lb))
+  ExactDivision,    ///< degree 1: one exact integer floor-division
+  Quadratic,        ///< degree 2: guarded quadratic formula
+  Cubic,            ///< degree 3: guarded real-arithmetic Cardano/Viete
+  Program,          ///< degree 4: RecoveryProgram bytecode
+  Interpreted,      ///< bytecode lowering unavailable: generic interpreter
+                    ///< (the one lowering that still heap-allocates)
+  Search,           ///< no usable formula: exact binary search
+};
+
+const char* level_solver_kind_name(LevelSolverKind k);
+
 /// Allocation-free runtime evaluator bound to concrete parameters.
 /// All methods are const and thread-safe.
 class CollapsedEval {
@@ -106,15 +132,37 @@ class CollapsedEval {
   bool has_closed_form(int level) const {
     return !closed_[static_cast<size_t>(level)].empty();
   }
+  /// The engine recover() uses for `level`.
+  LevelSolverKind solver_kind(int level) const {
+    return solvers_[static_cast<size_t>(level)].kind;
+  }
 
   /// Exact 1-based rank of an iteration tuple.
   i64 rank(std::span<const i64> idx) const;
 
   /// Recover the iteration tuple of rank pc (1 <= pc <= trip_count()):
-  /// closed-form roots guarded by exact integer correction, with binary
-  /// search as fallback.  Never returns a wrong tuple.  `stats`, when
-  /// non-null, accumulates which path each level took.
+  /// degree-specialized / bytecode closed forms guarded by exact integer
+  /// correction, with binary search as fallback.  Never returns a wrong
+  /// tuple.  `stats`, when non-null, accumulates which path each level
+  /// took.  Zero heap allocation — except on levels bind() had to demote
+  /// to LevelSolverKind::Interpreted (bytecode register pressure), whose
+  /// generic evaluator allocates; solver_kind() exposes the lowering.
   void recover(i64 pc, std::span<i64> idx, RecoveryStats* stats = nullptr) const;
+
+  /// Batched recovery: fill `out` (row-major, n rows of depth() values)
+  /// with the tuples of pc_lo, pc_lo+1, ..., clipped at trip_count().
+  /// One full multi-level solve for pc_lo; the remaining rows reuse the
+  /// solved prefix and advance by row arithmetic (no per-row solves, no
+  /// per-iteration bound evaluation).  Returns the number of rows
+  /// actually produced.  Zero heap allocation.
+  i64 recover_block(i64 pc_lo, i64 n, std::span<i64> out,
+                    RecoveryStats* stats = nullptr) const;
+
+  /// Seed-era recovery through the generic CompiledExpr interpreter
+  /// (complex arithmetic, heap-allocated value vector).  Kept as the
+  /// ablation / benchmark baseline for the bytecode engine; results are
+  /// identical to recover().
+  void recover_interpreted(i64 pc, std::span<i64> idx, RecoveryStats* stats = nullptr) const;
 
   /// Closed-form recovery *without* the correction guard (ablation /
   /// tests).  Returns false if any level lacks a formula or produced a
@@ -126,6 +174,51 @@ class CollapsedEval {
 
   /// Advance to the lexicographic successor; false after the last tuple.
   bool increment(std::span<i64> idx) const;
+
+  /// Number of consecutive pcs remaining in idx's innermost row,
+  /// counting idx itself (always >= 1 for a valid tuple).
+  i64 row_extent(std::span<const i64> idx) const {
+    return bounds_hi_[static_cast<size_t>(c_ - 1)].eval(idx.data()) -
+           idx[static_cast<size_t>(c_ - 1)];
+  }
+
+  /// Advance idx by n positions in collapsed order using row arithmetic
+  /// (bounds are evaluated once per crossed row, not once per step).
+  /// False when the walk leaves the domain.
+  bool advance(std::span<i64> idx, i64 n) const;
+
+  /// Row-wise walk of the pc range [lo, hi] (1-based, inclusive): one
+  /// full recover() at lo, then one fn(idx, j_begin, j_end) call per
+  /// maximal innermost run, with bounds evaluated once per crossed row.
+  /// `idx` is the walker's working tuple (depth() values, innermost ==
+  /// j_begin on entry); fn may overwrite idx[depth()-1] with values in
+  /// [j_begin, j_end) and must leave the other slots alone.  This is the
+  /// single row-arithmetic primitive behind recover_block() and the §V
+  /// scalar/segment schemes.  The caller must keep lo within
+  /// [1, trip_count()] (recover() throws otherwise); a hi beyond
+  /// trip_count() is silently clipped at the last tuple — pre-clip (as
+  /// recover_block does) when the shortfall matters.
+  template <class RowFn>
+  void for_each_row(i64 lo, i64 hi, RowFn&& fn, RecoveryStats* stats = nullptr) const {
+    const size_t d = static_cast<size_t>(c_);
+    i64 idx[kMaxDepth];
+    recover(lo, {idx, d}, stats);
+    i64 pc = lo;
+    while (pc <= hi) {
+      const i64 row_last_pc = pc + row_extent({idx, d}) - 1;
+      const i64 seg_last_pc = std::min(hi, row_last_pc);
+      const i64 j_begin = idx[d - 1];
+      const i64 j_end = j_begin + (seg_last_pc - pc) + 1;
+      fn(idx, j_begin, j_end);
+      pc = seg_last_pc + 1;
+      if (pc > hi) break;
+      // The run ended exactly at a row end (a mid-row cut implies
+      // seg_last_pc == hi); one odometer step from the row's last point
+      // lands on the next row's first point.
+      idx[d - 1] = j_end - 1;
+      if (!increment({idx, d})) break;
+    }
+  }
 
   void first(std::span<i64> idx) const;
   void last(std::span<i64> idx) const;
@@ -141,31 +234,26 @@ class CollapsedEval {
   friend class Collapsed;
   CollapsedEval() = default;
 
-  /// Affine bound pre-folded over the parameters: only loop-var slots
-  /// remain.  idx points at the loop-variable array (slots 0..c-1).
-  /// Terms live in a fixed inline array so eval() stays branch-light and
-  /// allocation-free on the odometer hot path.
-  struct Bound {
-    static constexpr int kMaxTerms = kMaxDepth;
-    i64 cst = 0;
-    int nterms = 0;
-    int slot[kMaxTerms] = {};
-    i64 coef[kMaxTerms] = {};
+  using Bound = FoldedBound;
 
-    void add_term(int s, i64 co) {
-      if (nterms >= kMaxTerms) throw SpecError("Bound: too many terms");
-      slot[nterms] = s;
-      coef[nterms] = co;
-      ++nterms;
-    }
-    i64 eval(const i64* idx) const {
-      i64 acc = cst;
-      for (int t = 0; t < nterms; ++t) acc += coef[t] * idx[slot[t]];
-      return acc;
-    }
+  /// One level's bound recovery engine (see LevelSolverKind).  The
+  /// integer-scaled level-equation coefficients A_e = D * a_e (D the
+  /// common denominator) drive both the specialized solvers and the O(1)
+  /// Horner correction guard: A(t) <= 0  <=>  rank(prefix, t) <= pc.
+  struct LevelSolver {
+    LevelSolverKind kind = LevelSolverKind::Search;
+    std::vector<CompiledPoly> scaled;  ///< A_0..A_deg, exact integer-valued,
+                                       ///< parameters pre-folded
+    int branch = 0;                    ///< selected convenient branch
+    RecoveryProgram program;           ///< Program levels
   };
 
   i64 search_level(int k, std::span<i64> pt, i64 pc) const;
+  i64 solve_level(int k, std::span<i64> pt, i64 pc, RecoveryStats* stats) const;
+  i64 guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                  const i128* A, int deg, RecoveryStats* stats) const;
+  void recover_innermost(std::span<i64> pt, std::span<i64> idx, i64 pc,
+                         const CompiledPoly& inner_rank) const;
 
   int c_ = 0;
   size_t nslots_ = 0;
@@ -174,8 +262,10 @@ class CollapsedEval {
   ParamMap params_;
   std::array<i64, kMaxSlots> base_{};  // params pre-filled, rest zero
   std::vector<Bound> bounds_lo_, bounds_hi_;
-  std::vector<CompiledPoly> prank_;    // per level; prank_[c-1] is the full rank
-  std::vector<CompiledExpr> closed_;   // per level; may be empty
+  std::vector<CompiledPoly> prank_;        // per level, parameters pre-folded
+  std::vector<CompiledPoly> prank_interp_; // per level, unfolded (seed baseline)
+  std::vector<CompiledExpr> closed_;   // per level; may be empty (interpreter)
+  std::vector<LevelSolver> solvers_;   // per level
   static constexpr int kMaxCorrection = 16;
 };
 

@@ -2,42 +2,44 @@
 
 #include <cmath>
 
-#include "core/collapse.hpp"  // kMaxSlots
 #include "support/error.hpp"
 
 namespace nrc {
 
-NewtonUnranker::NewtonUnranker(const RankingSystem& rs, const ParamMap& params)
-    : nest_(rs.nest), params_(params) {
-  c_ = nest_.depth();
-  slots_ = nest_.loop_vars();
-  for (const auto& p : nest_.params()) slots_.push_back(p);
-  slots_.push_back(kPcVar);
-  nslots_ = slots_.size();
+NewtonUnranker::NewtonUnranker(const RankingSystem& rs, const ParamMap& params) {
+  const NestSpec& nest = rs.nest;
+  c_ = nest.depth();
+  std::vector<std::string> slots = nest.loop_vars();
+  for (const auto& p : nest.params()) slots.push_back(p);
+  slots.push_back(kPcVar);
+  nslots_ = slots.size();
   pc_slot_ = nslots_ - 1;
+  if (nslots_ > static_cast<size_t>(kMaxSlots))
+    throw SpecError("NewtonUnranker: too many variables+parameters for the fast path");
 
-  base_.assign(nslots_, 0);
+  base_.fill(0);
   for (size_t s = 0; s < nslots_; ++s) {
-    auto it = params.find(slots_[s]);
-    if (it != params.end()) base_[static_cast<size_t>(s)] = it->second;
+    auto it = params.find(slots[s]);
+    if (it != params.end()) base_[s] = it->second;
   }
-  for (const auto& p : nest_.params())
+  for (const auto& p : nest.params())
     if (!params.count(p)) throw SpecError("NewtonUnranker: missing parameter " + p);
 
   for (int k = 0; k < c_; ++k) {
+    bounds_lo_.push_back(FoldedBound::fold(nest.at(k).lower, nest, params));
+    bounds_hi_.push_back(FoldedBound::fold(nest.at(k).upper, nest, params));
+    var_names_.push_back(nest.at(k).var);
     const Polynomial& R = rs.prefix_rank[static_cast<size_t>(k)];
-    prank_.emplace_back(R, slots_);
-    dprank_.emplace_back(R.derivative(nest_.at(k).var), slots_);
+    prank_.emplace_back(R, slots);
+    dprank_.emplace_back(R.derivative(nest.at(k).var), slots);
   }
 }
 
 i64 NewtonUnranker::solve_level(int k, std::span<i64> pt, i64 pc) const {
-  // Bounds of this level given the prefix already stored in pt.
-  std::map<std::string, i64> vals(params_.begin(), params_.end());
-  for (int q = 0; q < k; ++q) vals[nest_.at(q).var] = pt[static_cast<size_t>(q)];
-  i64 lo = nest_.at(k).lower.eval(vals);
-  i64 hi = nest_.at(k).upper.eval(vals) - 1;
-  if (hi < lo) throw SolveError("NewtonUnranker: empty range at level " + nest_.at(k).var);
+  // Bounds of this level, slot-indexed over the prefix already in pt.
+  i64 lo = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
+  i64 hi = bounds_hi_[static_cast<size_t>(k)].eval(pt.data()) - 1;
+  if (hi < lo) throw SolveError("NewtonUnranker: empty range at level " + var_names_[static_cast<size_t>(k)]);
 
   const CompiledPoly& R = prank_[static_cast<size_t>(k)];
   const CompiledPoly& dR = dprank_[static_cast<size_t>(k)];
@@ -112,7 +114,7 @@ i64 NewtonUnranker::solve_level(int k, std::span<i64> pt, i64 pc) const {
 }
 
 void NewtonUnranker::recover(i64 pc, std::span<i64> idx) const {
-  std::vector<i64> pt = base_;
+  std::array<i64, kMaxSlots> pt = base_;
   pt[pc_slot_] = pc;
   std::span<i64> pts(pt.data(), nslots_);
   for (int k = 0; k < c_; ++k) idx[static_cast<size_t>(k)] = solve_level(k, pts, pc);

@@ -8,10 +8,18 @@
 // any degree while every accepted step is validated against the exact
 // integer bracket — so it is as exact as the search and usually faster
 // for very wide levels.
+//
+// The runtime state is slot-indexed like CollapsedEval: bounds are
+// pre-folded over the parameters at construction (FoldedBound) and
+// recover() works out of a fixed stack array — zero heap allocation per
+// recovery.
 
+#include <array>
 #include <vector>
 
+#include "core/folded_bound.hpp"
 #include "core/ranking.hpp"
+#include "core/runtime_limits.hpp"
 #include "polyhedral/domain.hpp"
 
 namespace nrc {
@@ -25,7 +33,8 @@ class NewtonUnranker {
 
   int depth() const { return c_; }
 
-  /// Recover the iteration tuple of rank pc (1-based).  Exact.
+  /// Recover the iteration tuple of rank pc (1-based).  Exact;
+  /// allocation-free.
   void recover(i64 pc, std::span<i64> idx) const;
 
   /// Newton iterations spent on the last-constructed probe set
@@ -38,13 +47,12 @@ class NewtonUnranker {
   int c_ = 0;
   size_t nslots_ = 0;
   size_t pc_slot_ = 0;
-  std::vector<std::string> slots_;
-  std::vector<i64> base_;
-  NestSpec nest_;
-  ParamMap params_;
-  std::vector<CompiledPoly> prank_;   // R_k exact
-  std::vector<CompiledPoly> dprank_;  // dR_k/di_k exact (for the Newton step)
-  mutable i64 steps_ = 0;             // diagnostics only (not synchronized)
+  std::array<i64, kMaxSlots> base_{};
+  std::vector<FoldedBound> bounds_lo_, bounds_hi_;  // params pre-folded
+  std::vector<std::string> var_names_;              // per level (diagnostics)
+  std::vector<CompiledPoly> prank_;                 // R_k exact
+  std::vector<CompiledPoly> dprank_;                // dR_k/di_k exact (Newton step)
+  mutable i64 steps_ = 0;                           // diagnostics only (not synchronized)
 };
 
 }  // namespace nrc

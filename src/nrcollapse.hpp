@@ -45,5 +45,6 @@
 #include "symbolic/compile.hpp"
 #include "symbolic/expr.hpp"
 #include "symbolic/print_c.hpp"
+#include "symbolic/recovery_program.hpp"
 #include "symbolic/root_formula.hpp"
 #include "viz/ascii_domain.hpp"

@@ -29,26 +29,10 @@ namespace detail {
 /// Run the pc range [lo, hi] (1-based, inclusive) as row segments.
 template <class SegBody>
 void run_segments(const CollapsedEval& cn, i64 lo, i64 hi, SegBody&& body) {
-  const int d = cn.depth();
-  i64 idx[kMaxDepth];
-  cn.recover(lo, {idx, static_cast<size_t>(d)});
-  i64 pc = lo;
-  while (pc <= hi) {
-    // End of the current innermost row, capped by the block end.
-    const i64 row_last_j = cn.upper_bound(d - 1, {idx, static_cast<size_t>(d)}) - 1;
-    const i64 row_last_pc = pc + (row_last_j - idx[d - 1]);
-    const i64 seg_last_pc = std::min(hi, row_last_pc);
-    const i64 j_begin = idx[d - 1];
-    const i64 j_end = j_begin + (seg_last_pc - pc) + 1;
-    body(std::span<const i64>(idx, static_cast<size_t>(d - 1)), j_begin, j_end);
-    pc = seg_last_pc + 1;
-    if (pc > hi) break;
-    // Reaching here means the run ended exactly at a row end (a mid-row
-    // cut implies seg_last_pc == hi).  One odometer step from the row's
-    // last point lands on the next row's first point.
-    idx[d - 1] = j_end - 1;
-    cn.increment({idx, static_cast<size_t>(d)});
-  }
+  const size_t d = static_cast<size_t>(cn.depth());
+  cn.for_each_row(lo, hi, [&](const i64* idx, i64 j_begin, i64 j_end) {
+    body(std::span<const i64>(idx, d - 1), j_begin, j_end);
+  });
 }
 
 }  // namespace detail

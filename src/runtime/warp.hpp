@@ -32,9 +32,10 @@ void collapsed_for_warp_sim(const CollapsedEval& cn, int warp_size, Body&& body,
     cn.recover(lane + 1, {idx, d});  // costly recovery: once per lane
     for (i64 pc = lane + 1; pc <= total; pc += W) {
       body(std::span<const i64>(idx, d));
-      // Advance W increments to the lane's next iteration.
-      for (i64 s = 0; s < W && pc + s + 1 <= total; ++s)
-        if (!cn.increment({idx, d})) break;
+      // Jump W positions to the lane's next iteration; advance() uses
+      // row arithmetic, so a whole warp-stride inside one row costs a
+      // single bound evaluation instead of W odometer increments.
+      if (pc + W <= total && !cn.advance({idx, d}, W)) break;
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "math/roots.hpp"
 #include "support/error.hpp"
 
 namespace nrc {
@@ -89,11 +90,9 @@ cld CompiledExpr::eval(std::span<const i64> point) const {
       case ExprOp::Sqrt:
         vals[i] = std::sqrt(vals[static_cast<size_t>(ins.a)]);
         break;
-      case ExprOp::Cbrt: {
-        const cld z = vals[static_cast<size_t>(ins.a)];
-        vals[i] = (z == cld{0.0L, 0.0L}) ? cld{0.0L, 0.0L} : std::pow(z, cld{1.0L / 3.0L, 0.0L});
+      case ExprOp::Cbrt:
+        vals[i] = principal_cbrt(vals[static_cast<size_t>(ins.a)]);
         break;
-      }
     }
   }
   return vals.back();

@@ -1,0 +1,129 @@
+// Zero-heap-allocation guarantee of the recovery hot path.
+//
+// This suite replaces the global operator new/delete with counting
+// versions (which is why it links into its own test executable) and
+// asserts that recover(), recover_block(), recover_search() and the
+// NewtonUnranker perform no allocation after bind-time setup — the
+// property the §V chunked schemes rely on to keep per-chunk recovery
+// overhead flat.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "../test_util.hpp"
+
+namespace {
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace nrc {
+namespace {
+
+struct Case {
+  std::string name;
+  CollapsedEval cn;
+};
+
+std::vector<Case> engine_cases() {
+  std::vector<Case> cases;
+  cases.push_back({"triangular_quadratic",
+                   collapse(testutil::triangular_strict()).bind({{"N", 300}})});
+  cases.push_back({"tetrahedral_cubic",
+                   collapse(testutil::tetrahedral_fig6()).bind({{"N", 40}})});
+  cases.push_back({"simplex_quartic", collapse(testutil::simplex_4d()).bind({{"N", 20}})});
+  cases.push_back({"rectangular_division",
+                   collapse(testutil::rectangular()).bind({{"N", 40}, {"M", 17}})});
+  return cases;
+}
+
+TEST(NoAllocation, RecoverHotPath) {
+  for (auto& c : engine_cases()) {
+    i64 idx[kMaxDepth];
+    const size_t d = static_cast<size_t>(c.cn.depth());
+    RecoveryStats stats;
+    c.cn.recover(1, {idx, d}, &stats);  // touch every lazy libc path once
+
+    const i64 n = std::min<i64>(c.cn.trip_count(), 2000);
+    const long long before = g_allocations.load();
+    for (i64 pc = 1; pc <= n; ++pc) c.cn.recover(pc, {idx, d}, &stats);
+    const long long after = g_allocations.load();
+    EXPECT_EQ(after, before) << c.name << ": recover() allocated";
+  }
+}
+
+TEST(NoAllocation, RecoverBlockHotPath) {
+  for (auto& c : engine_cases()) {
+    const size_t d = static_cast<size_t>(c.cn.depth());
+    constexpr i64 kBlock = 128;
+    std::vector<i64> out(kBlock * d);  // caller-owned buffer: not hot path
+    c.cn.recover_block(1, kBlock, out);
+
+    const long long before = g_allocations.load();
+    for (i64 lo = 1; lo <= c.cn.trip_count(); lo += kBlock)
+      c.cn.recover_block(lo, kBlock, out);
+    const long long after = g_allocations.load();
+    EXPECT_EQ(after, before) << c.name << ": recover_block() allocated";
+  }
+}
+
+TEST(NoAllocation, SearchRecoveryHotPath) {
+  for (auto& c : engine_cases()) {
+    i64 idx[kMaxDepth];
+    const size_t d = static_cast<size_t>(c.cn.depth());
+    c.cn.recover_search(1, {idx, d});
+
+    const i64 n = std::min<i64>(c.cn.trip_count(), 500);
+    const long long before = g_allocations.load();
+    for (i64 pc = 1; pc <= n; ++pc) c.cn.recover_search(pc, {idx, d});
+    const long long after = g_allocations.load();
+    EXPECT_EQ(after, before) << c.name << ": recover_search() allocated";
+  }
+}
+
+TEST(NoAllocation, NewtonRecoveryHotPath) {
+  const NestSpec nest = testutil::tetrahedral_fig6();
+  const RankingSystem rs = build_ranking_system(nest);
+  const NewtonUnranker nu(rs, {{"N", 40}});
+  i64 idx[kMaxDepth];
+  const size_t d = static_cast<size_t>(nu.depth());
+  nu.recover(1, {idx, d});
+
+  const long long before = g_allocations.load();
+  for (i64 pc = 1; pc <= 500; ++pc) nu.recover(pc, {idx, d});
+  const long long after = g_allocations.load();
+  EXPECT_EQ(after, before) << "NewtonUnranker::recover() allocated";
+}
+
+TEST(NoAllocation, CounterItselfWorks) {
+  // Sanity: the hook really observes allocations.
+  const long long before = g_allocations.load();
+  auto* p = new int(7);
+  const long long after = g_allocations.load();
+  delete p;
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -1,0 +1,228 @@
+// The compiled recovery engine: degree-specialized solvers, bytecode
+// programs and batched block recovery must agree exactly with the
+// all-integer binary-search recovery (and with the seed-era interpreter)
+// over full domains.
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "kernels/registry.hpp"
+
+namespace nrc {
+namespace {
+
+void expect_engine_matches_search(const CollapsedEval& cn, const std::string& tag) {
+  const size_t d = static_cast<size_t>(cn.depth());
+  std::vector<i64> via_engine(d), via_interp(d), via_search(d);
+  for (i64 pc = 1; pc <= cn.trip_count(); ++pc) {
+    cn.recover(pc, via_engine);
+    cn.recover_interpreted(pc, via_interp);
+    cn.recover_search(pc, via_search);
+    ASSERT_EQ(via_engine, via_search) << tag << " pc=" << pc;
+    ASSERT_EQ(via_interp, via_search) << tag << " (interpreter) pc=" << pc;
+  }
+}
+
+void expect_blocks_match_search(const CollapsedEval& cn, i64 block, const std::string& tag) {
+  const size_t d = static_cast<size_t>(cn.depth());
+  std::vector<i64> out(static_cast<size_t>(block) * d);
+  std::vector<i64> via_search(d);
+  for (i64 lo = 1; lo <= cn.trip_count(); lo += block) {
+    const i64 got = cn.recover_block(lo, block, out);
+    ASSERT_EQ(got, std::min<i64>(block, cn.trip_count() - lo + 1)) << tag << " lo=" << lo;
+    for (i64 r = 0; r < got; ++r) {
+      cn.recover_search(lo + r, via_search);
+      for (size_t q = 0; q < d; ++q)
+        ASSERT_EQ(out[static_cast<size_t>(r) * d + q], via_search[q])
+            << tag << " block=" << block << " pc=" << lo + r << " dim=" << q;
+    }
+  }
+}
+
+TEST(RecoveryEngine, MatchesSearchOnEveryKernelNest) {
+  for (const auto& name : kernel_names()) {
+    auto kernel = make_kernel(name);
+    kernel->prepare(0.0);  // floor sizes: full domains stay test-sized
+    const Collapsed col = collapse(kernel->collapsed_spec());
+    const CollapsedEval cn = col.bind(kernel->bound_params());
+    expect_engine_matches_search(cn, name);
+  }
+}
+
+TEST(RecoveryEngine, BlocksMatchSearchOnEveryKernelNest) {
+  for (const auto& name : kernel_names()) {
+    auto kernel = make_kernel(name);
+    kernel->prepare(0.0);
+    const Collapsed col = collapse(kernel->collapsed_spec());
+    const CollapsedEval cn = col.bind(kernel->bound_params());
+    for (i64 block : {i64{1}, i64{7}, i64{64}, cn.trip_count()})
+      expect_blocks_match_search(cn, block, name);
+  }
+}
+
+TEST(RecoveryEngine, MatchesSearchOnAllShapes) {
+  // The shape menagerie exercises every solver kind: exact-division
+  // (degree 1), guarded-quadratic, bytecode programs (degrees 3 and 4).
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const ParamMap p = testutil::uniform_params(sc.nest, 7);
+    if (!has_no_empty_ranges(sc.nest, p)) continue;
+    const CollapsedEval cn = collapse(sc.nest).bind(p);
+    expect_engine_matches_search(cn, sc.name);
+    expect_blocks_match_search(cn, 5, sc.name);
+  }
+}
+
+TEST(RecoveryEngine, SolverKindsMatchLevelDegrees) {
+  {
+    const CollapsedEval cn = collapse(testutil::triangular_strict()).bind({{"N", 30}});
+    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Quadratic);
+    EXPECT_EQ(cn.solver_kind(1), LevelSolverKind::InnermostLinear);
+  }
+  {
+    const CollapsedEval cn = collapse(testutil::rectangular()).bind({{"N", 9}, {"M", 4}});
+    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::ExactDivision);
+  }
+  {
+    const CollapsedEval cn = collapse(testutil::tetrahedral_fig6()).bind({{"N", 9}});
+    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Cubic);
+    EXPECT_EQ(cn.solver_kind(1), LevelSolverKind::Quadratic);
+  }
+  {
+    const CollapsedEval cn = collapse(testutil::simplex_4d()).bind({{"N", 8}});
+    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Program);  // quartic
+  }
+  {
+    const CollapsedEval cn = collapse(testutil::simplex_5d()).bind({{"N", 6}});
+    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Search);  // degree 5
+  }
+}
+
+TEST(RecoveryEngine, SearchFallbackLevelsStayExact) {
+  // Degree-5 outer level has no closed form; the engine mixes search and
+  // specialized levels in one nest.
+  const CollapsedEval cn = collapse(testutil::simplex_5d()).bind({{"N", 6}});
+  expect_engine_matches_search(cn, "simplex_5d");
+  expect_blocks_match_search(cn, 11, "simplex_5d");
+}
+
+TEST(RecoveryEngine, MaxDepthNest) {
+  // Depth-kMaxDepth nest: a rectangular tower over a triangular base.
+  NestSpec n;
+  n.param("N");
+  n.loop("t0", aff::c(0), aff::v("N"));
+  n.loop("t1", aff::v("t0"), aff::v("N"));
+  for (int k = 2; k < kMaxDepth; ++k)
+    n.loop("t" + std::to_string(k), aff::c(0), aff::c(2));
+  ASSERT_EQ(n.depth(), kMaxDepth);
+  const CollapsedEval cn = collapse(n).bind({{"N", 3}});
+  expect_engine_matches_search(cn, "max_depth");
+  expect_blocks_match_search(cn, 64, "max_depth");
+}
+
+TEST(RecoverBlock, EdgeCases) {
+  const CollapsedEval cn = collapse(testutil::triangular_strict()).bind({{"N", 12}});
+  const size_t d = static_cast<size_t>(cn.depth());
+  std::vector<i64> out(8 * d);
+
+  EXPECT_EQ(cn.recover_block(1, 0, out), 0);   // empty request
+  EXPECT_EQ(cn.recover_block(1, -3, out), 0);  // negative request
+
+  // Clipping at the end of the domain.
+  EXPECT_EQ(cn.recover_block(cn.trip_count(), 8, out), 1);
+  std::vector<i64> last(d);
+  cn.last(last);
+  EXPECT_EQ(out[0], last[0]);
+  EXPECT_EQ(out[1], last[1]);
+
+  // Out-of-range pc_lo and undersized output throw.
+  EXPECT_THROW(cn.recover_block(0, 4, out), SolveError);
+  EXPECT_THROW(cn.recover_block(cn.trip_count() + 1, 4, out), SolveError);
+  std::vector<i64> tiny(d);
+  EXPECT_THROW(cn.recover_block(1, 8, tiny), SpecError);
+}
+
+TEST(RecoverBlock, SingleLoopNest) {
+  NestSpec n;
+  n.param("N").loop("i", aff::c(2), aff::v("N"));
+  const CollapsedEval cn = collapse(n).bind({{"N", 9}});
+  std::vector<i64> out(7);
+  ASSERT_EQ(cn.recover_block(1, 7, out), 7);
+  for (i64 r = 0; r < 7; ++r) EXPECT_EQ(out[static_cast<size_t>(r)], 2 + r);
+}
+
+TEST(Advance, AgreesWithRepeatedIncrement) {
+  const CollapsedEval cn = collapse(testutil::tetrahedral_fig6()).bind({{"N", 8}});
+  const size_t d = static_cast<size_t>(cn.depth());
+  for (i64 step : {i64{1}, i64{2}, i64{5}, i64{17}}) {
+    std::vector<i64> a(d), b(d);
+    cn.first(a);
+    cn.first(b);
+    bool a_alive = true, b_alive = true;
+    while (a_alive && b_alive) {
+      a_alive = cn.advance(a, step);
+      for (i64 s = 0; s < step && b_alive; ++s) b_alive = cn.increment(b);
+      ASSERT_EQ(a_alive, b_alive) << "step=" << step;
+      if (a_alive) ASSERT_EQ(a, b) << "step=" << step;
+    }
+  }
+}
+
+TEST(RecoveryEngine, StatsCountClosedFormLevels) {
+  const CollapsedEval cn = collapse(testutil::tetrahedral_fig6()).bind({{"N", 12}});
+  RecoveryStats stats;
+  std::vector<i64> idx(3);
+  for (i64 pc = 1; pc <= cn.trip_count(); ++pc) cn.recover(pc, idx, &stats);
+  // Two non-innermost levels per recovery, none needing search.
+  EXPECT_EQ(stats.levels(), 2 * cn.trip_count());
+  EXPECT_EQ(stats.fallback, 0);
+  EXPECT_GT(stats.closed_form, 0);
+}
+
+TEST(RecoveryEngine, DescribeNamesLoweredSolvers) {
+  const std::string d = collapse(testutil::tetrahedral_fig6()).describe();
+  EXPECT_NE(d.find("lowered solver: guarded-cubic"), std::string::npos) << d;
+  EXPECT_NE(d.find("lowered solver: guarded-quadratic"), std::string::npos);
+  EXPECT_NE(d.find("lowered solver: innermost-linear"), std::string::npos);
+  const std::string q = collapse(testutil::simplex_4d()).describe();
+  EXPECT_NE(q.find("lowered solver: bytecode-program"), std::string::npos) << q;
+  const std::string r = collapse(testutil::rectangular()).describe();
+  EXPECT_NE(r.find("lowered solver: exact-division"), std::string::npos) << r;
+}
+
+TEST(RecoveryEngine, AstronomicalParameterOffsetsStillBind) {
+  // Folding A ~ 1e6 into quartic level coefficients produces A^4-scale
+  // constants beyond the exact int64 range; lowering must demote to the
+  // interpreter instead of letting OverflowError escape bind() (the seed
+  // engine handled this nest).
+  NestSpec n;
+  n.param("A");
+  n.loop("i", aff::v("A"), aff::v("A") + 9)
+      .loop("j", aff::v("i"), aff::v("A") + 9)
+      .loop("k", aff::v("j"), aff::v("A") + 9)
+      .loop("l", aff::v("k"), aff::v("A") + 9);
+  const CollapsedEval cn = collapse(n).bind({{"A", 1000000}});
+  EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Interpreted);
+  expect_engine_matches_search(cn, "astronomical_offsets");
+}
+
+TEST(RecoveryEngine, LargeParameterBlocksStayExact) {
+  // Same worst case as the scalar large-N test: ranks near row
+  // boundaries at N = 2^20, recovered through blocks spanning them.
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const i64 N = 1 << 20;
+  const CollapsedEval cn = col.bind({{"N", N}});
+  std::vector<i64> out(16 * 2), via_search(2);
+  for (i64 i : {i64{1}, i64{77}, N / 2, N - 3}) {
+    const std::vector<i64> first_of_row{i, i + 1};
+    const i64 pc = cn.rank(first_of_row);
+    const i64 lo = std::max<i64>(1, pc - 8);
+    const i64 got = cn.recover_block(lo, 16, out);
+    for (i64 r = 0; r < got; ++r) {
+      cn.recover_search(lo + r, via_search);
+      EXPECT_EQ(out[static_cast<size_t>(r) * 2], via_search[0]) << "pc=" << lo + r;
+      EXPECT_EQ(out[static_cast<size_t>(r) * 2 + 1], via_search[1]) << "pc=" << lo + r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nrc

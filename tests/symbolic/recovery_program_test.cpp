@@ -1,0 +1,132 @@
+// RecoveryProgram lowering: parameter constant-folding, CSE, real/complex
+// instruction selection, and numeric agreement with the generic
+// CompiledExpr interpreter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.hpp"
+#include "core/unrank_closed.hpp"
+#include "symbolic/compile.hpp"
+#include "symbolic/recovery_program.hpp"
+#include "symbolic/root_formula.hpp"
+
+namespace nrc {
+namespace {
+
+/// Level-0 root expression and slot order for a shape.
+struct RootCase {
+  Expr root;
+  std::vector<std::string> slots;
+};
+
+RootCase level0_root(const NestSpec& nest) {
+  const RankingSystem rs = build_ranking_system(nest);
+  auto lf = build_level_formulas(rs, 4);
+  std::vector<std::string> slots = nest.loop_vars();
+  for (const auto& p : nest.params()) slots.push_back(p);
+  slots.push_back(kPcVar);
+  select_convenient_branches(lf, rs, default_calibration(nest), slots);
+  EXPECT_GE(lf[0].branch, 0);
+  return {lf[0].root, slots};
+}
+
+TEST(RecoveryProgram, QuadraticRootLowersToRealOnlyBytecode) {
+  const RootCase rc = level0_root(testutil::triangular_strict());
+  const RecoveryProgram prog(rc.root, rc.slots, {{"N", 50}});
+  ASSERT_TRUE(prog.compiled());
+  EXPECT_FALSE(prog.uses_complex()) << prog.str();
+
+  const CompiledExpr interp(rc.root, rc.slots);
+  for (i64 pc : {i64{1}, i64{2}, i64{100}, i64{777}, i64{1225}}) {
+    const i64 pt[] = {0, 0, 50, pc};
+    const RootValue v = prog.eval({pt, 4});
+    const cld z = interp.eval({pt, 4});
+    ASSERT_TRUE(v.finite());
+    EXPECT_NEAR(static_cast<double>(v.re), static_cast<double>(z.real()), 1e-9) << pc;
+    EXPECT_NEAR(static_cast<double>(v.im), 0.0, 1e-12);
+  }
+}
+
+TEST(RecoveryProgram, CubicRootUsesComplexOnlyWhereNeeded) {
+  const RootCase rc = level0_root(testutil::tetrahedral_fig6());
+  const RecoveryProgram prog(rc.root, rc.slots, {{"N", 30}});
+  ASSERT_TRUE(prog.compiled());
+  // Cardano branches genuinely need complex arithmetic (the discriminant
+  // sqrt goes imaginary on real-rooted cubics)...
+  EXPECT_TRUE(prog.uses_complex());
+  // ...but the polynomial leaves still lower to real instructions.
+  EXPECT_NE(prog.str().find("rpoly"), std::string::npos) << prog.str();
+
+  const CompiledExpr interp(rc.root, rc.slots);
+  std::vector<i64> pt(rc.slots.size(), 0);
+  pt[rc.slots.size() - 2] = 30;  // N
+  for (i64 pc = 1; pc <= 400; pc += 13) {
+    pt[rc.slots.size() - 1] = pc;
+    const RootValue v = prog.eval(pt);
+    const cld z = interp.eval(pt);
+    ASSERT_EQ(v.finite(), std::isfinite(z.real()) && std::isfinite(z.imag()));
+    if (v.finite())
+      EXPECT_NEAR(static_cast<double>(v.re), static_cast<double>(z.real()), 1e-6) << pc;
+  }
+}
+
+TEST(RecoveryProgram, ParametersAreConstantFolded) {
+  // N*N - pc with N bound: the parameter polynomial folds; only pc and a
+  // constant survive.  (N*N + N) - (N*N) also folds the whole subtraction.
+  const Expr n = Expr::variable("N");
+  const Expr pc = Expr::variable("pc");
+  const std::vector<std::string> slots = {"i", "N", "pc"};
+
+  const RecoveryProgram folded(n * n - pc, slots, {{"N", 9}});
+  ASSERT_TRUE(folded.compiled());
+  const i64 pt[] = {0, 9, 5};
+  EXPECT_EQ(static_cast<double>(folded.eval({pt, 3}).re), 76.0);
+
+  // A fully parameter-constant expression lowers to a single instruction.
+  const RecoveryProgram constant((n * n + n) / n, slots, {{"N", 9}});
+  ASSERT_TRUE(constant.compiled());
+  EXPECT_EQ(constant.size(), 1u);
+  EXPECT_EQ(static_cast<double>(constant.eval({pt, 3}).re), 10.0);
+}
+
+TEST(RecoveryProgram, SharedSubtreesKeepSingleRegisters) {
+  const Expr x = Expr::variable("i");
+  const Expr s = x + Expr::constant(1);
+  const Expr e = (s * s) / (s + s);  // s must lower exactly once
+  const std::vector<std::string> slots = {"i", "pc"};
+  const RecoveryProgram prog(e, slots, {});
+  ASSERT_TRUE(prog.compiled());
+  // poly(i), const 1, s, s*s, s+s, div — s lowers once; a lowering
+  // without CSE re-emits the shared subtree and lands at 9.
+  EXPECT_EQ(prog.size(), 6u) << prog.str();
+}
+
+TEST(RecoveryProgram, NegativeSqrtGoesNaNInRealMode) {
+  const Expr pc = Expr::variable("pc");
+  const std::vector<std::string> slots = {"pc"};
+  const RecoveryProgram prog((Expr::constant(4) - pc).sqrt(), slots, {});
+  ASSERT_TRUE(prog.compiled());
+  EXPECT_FALSE(prog.uses_complex());
+  const i64 ok[] = {3};
+  EXPECT_NEAR(static_cast<double>(prog.eval({ok, 1}).re), 1.0, 1e-12);
+  const i64 bad[] = {13};
+  EXPECT_FALSE(prog.eval({bad, 1}).finite());  // guard turns this into search
+}
+
+TEST(RecoveryProgram, UnboundVariableFailsLoweringGracefully) {
+  const Expr e = Expr::variable("mystery") + Expr::constant(1);
+  const std::vector<std::string> slots = {"i", "pc"};
+  const RecoveryProgram prog(e, slots, {});
+  EXPECT_FALSE(prog.compiled());
+}
+
+TEST(RecoveryProgram, EmptyExpression) {
+  const RecoveryProgram prog;
+  EXPECT_FALSE(prog.compiled());
+  const i64 pt[] = {0};
+  EXPECT_THROW(prog.eval({pt, 1}), SolveError);
+}
+
+}  // namespace
+}  // namespace nrc
