@@ -14,6 +14,11 @@
 //                             the multi-second vCPU interference bursts of
 //                             shared/virtualized hosts
 //   --kernel=K                restrict to one kernel (repeatable)
+//   --out=PATH   NRC_OUT      where to write the bench's JSON artifact
+//                             (default: the bench's own name in the
+//                             current directory — pass an absolute path
+//                             in CI so out-of-tree binary dirs can't
+//                             silently drop the artifact)
 
 #include <omp.h>
 
@@ -32,11 +37,13 @@ struct Args {
   int warmup = 1;
   int sims = 12;
   int trials = 2;
+  std::string out;
   std::vector<std::string> kernels;
 
   static Args parse(int argc, char** argv) {
     Args a;
     if (const char* e = std::getenv("NRC_SCALE")) a.scale = std::atof(e);
+    if (const char* e = std::getenv("NRC_OUT")) a.out = e;
     if (const char* e = std::getenv("NRC_THREADS")) a.threads = std::atoi(e);
     if (const char* e = std::getenv("NRC_REPS")) a.reps = std::atoi(e);
     if (const char* e = std::getenv("NRC_WARMUP")) a.warmup = std::atoi(e);
@@ -60,12 +67,14 @@ struct Args {
         a.sims = std::atoi(v);
       } else if (const char* v = val("--trials=")) {
         a.trials = std::atoi(v);
+      } else if (const char* v = val("--out=")) {
+        a.out = v;
       } else if (const char* v = val("--kernel=")) {
         a.kernels.emplace_back(v);
       } else if (s == "--help" || s == "-h") {
         std::printf(
             "flags: --scale=X --threads=N --reps=N --warmup=N --sims=N "
-            "--trials=N --kernel=NAME (repeatable)\n");
+            "--trials=N --out=PATH --kernel=NAME (repeatable)\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", s.c_str());

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Perf-trajectory dashboard for the recovery microbenchmark.
+
+Appends the current BENCH_recovery.json to the accumulated trajectory
+(downloaded from the previous run's BENCH_trajectory artifact in CI)
+and renders BENCH_trajectory.{json,md}; the markdown table goes to the
+GitHub step summary.  This script is the dashboard, not the gate — the
+enforced floors live in bench_recovery_ns itself — so it always exits 0
+on well-formed input.
+
+Usage:
+  trajectory.py --current BENCH_recovery.json \
+                [--history BENCH_trajectory.json] \
+                --out-json BENCH_trajectory.json \
+                --out-md BENCH_trajectory.md \
+                [--sha SHA] [--run RUN_NUMBER] [--date ISO8601]
+"""
+
+import argparse
+import json
+import sys
+
+MAX_RUNS = 200          # cap the accumulated history
+MD_ROWS = 30            # rows rendered in the markdown table
+ENGINE_FLOOR = 2.5      # enforced engine-vs-interpreter floor
+SIMD_FLOOR = 2.0        # enforced simd64-vs-block64 floor (avx2 builds)
+
+
+def load_json(path, default):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return default
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--history", default="")
+    ap.add_argument("--out-json", required=True)
+    ap.add_argument("--out-md", required=True)
+    ap.add_argument("--sha", default="local")
+    ap.add_argument("--run", default="0")
+    ap.add_argument("--date", default="")
+    args = ap.parse_args()
+
+    current = load_json(args.current, None)
+    if current is None or "nests" not in current:
+        print(f"trajectory: cannot read {args.current}", file=sys.stderr)
+        return 1
+
+    history = load_json(args.history, {}) if args.history else {}
+    runs = history.get("runs", []) if isinstance(history, dict) else []
+
+    entry = {
+        "run": args.run,
+        "sha": args.sha[:10],
+        "date": args.date,
+        "simd_abi": current.get("simd_abi", "?"),
+        "nests": {},
+    }
+    for nest in current["nests"]:
+        schemes = nest.get("schemes", {})
+        entry["nests"][nest["name"]] = {
+            "interpreter": schemes.get("interpreter"),
+            "engine": schemes.get("engine"),
+            "block64": schemes.get("block64"),
+            "simd64": schemes.get("simd64"),
+            "batch4": schemes.get("batch4"),
+            "speedup_engine": nest.get("speedup_engine_vs_interpreter"),
+            "speedup_simd": nest.get("speedup_simd64_vs_block64"),
+            "gate": bool(nest.get("gate", False)),
+            "gate_simd": bool(nest.get("gate_simd", False)),
+        }
+    runs.append(entry)
+    runs = runs[-MAX_RUNS:]
+
+    with open(args.out_json, "w", encoding="utf-8") as f:
+        json.dump({"bench": "recovery_ns", "runs": runs}, f, indent=1)
+
+    # Markdown: one row per run, engine and simd speedups per nest.
+    nest_names = []
+    for r in runs:
+        for name in r.get("nests", {}):
+            if name not in nest_names:
+                nest_names.append(name)
+
+    def fmt(v, floor=None):
+        if v is None:
+            return "—"
+        mark = ""
+        if floor is not None:
+            mark = " ✓" if v >= floor else " ✗"
+        return f"{v:.2f}x{mark}"
+
+    lines = [
+        "## Recovery perf trajectory",
+        "",
+        f"ns/iteration engine speedups per run (floors: engine ≥{ENGINE_FLOOR}x "
+        f"vs interpreter, simd64 ≥{SIMD_FLOOR}x vs block64 on avx2 builds; "
+        "enforced by bench_recovery_ns).",
+        "",
+        "| run | sha | abi | "
+        + " | ".join(f"{n} eng | {n} simd" for n in nest_names)
+        + " |",
+        "|" + "---|" * (3 + 2 * len(nest_names)),
+    ]
+    for r in runs[-MD_ROWS:]:
+        cells = [str(r.get("run", "?")), str(r.get("sha", "?")),
+                 str(r.get("simd_abi", "?"))]
+        for n in nest_names:
+            d = r.get("nests", {}).get(n, {})
+            # Floors are marked only where bench_recovery_ns enforces
+            # them (gated nests; simd only on avx2 builds).
+            cells.append(fmt(d.get("speedup_engine"),
+                             ENGINE_FLOOR if d.get("gate") else None))
+            simd_gated = d.get("gate_simd") and r.get("simd_abi") == "avx2"
+            cells.append(fmt(d.get("speedup_simd"),
+                             SIMD_FLOOR if simd_gated else None))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    latest = runs[-1]["nests"]
+    lines.append(
+        "Latest absolute ns/iteration: "
+        + "; ".join(
+            f"{n}: engine {d.get('engine')}, block64 {d.get('block64')}, "
+            f"simd64 {d.get('simd64')}"
+            for n, d in latest.items()
+        )
+        + "."
+    )
+    with open(args.out_md, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+    print(f"trajectory: {len(runs)} runs -> {args.out_json}, {args.out_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

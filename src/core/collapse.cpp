@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/simd_abi.hpp"
 #include "support/error.hpp"
 #include "symbolic/print_c.hpp"
 
@@ -16,6 +17,53 @@ i64 floor_div_i128_to_i64(i128 a, i128 b) {
   i128 q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return narrow_i64(q);
+}
+
+/// Real-arithmetic Cardano/Viete estimate for A3*t^3 + ... + A0 <= 0,
+/// shared by the scalar solver (F = long double on i128 coefficients,
+/// the historical behaviour) and the lane-batched solver (F = double on
+/// i128 or exact-double coefficients; the exact guard absorbs the
+/// precision difference).  Returns false when the formula degenerates
+/// here (A3 == 0, non-finite, or out of the index range).
+template <class F, class TA>
+bool cubic_estimate(const TA* A, int branch, i64* est) {
+  // Algebraically identical to the branch-k complex formula
+  // u*cis(k,3) - p/(3*u*cis(k,3)) - b/3 that the symbolic root encodes
+  // (only the real part is needed for the floor).  Three-real-root
+  // cubics (negative discriminant) take the Viete trigonometric form;
+  // no complex arithmetic anywhere.
+  if (A[3] == 0) return false;
+  const F a3 = static_cast<F>(A[3]);
+  const F b = static_cast<F>(A[2]) / a3;
+  const F c = static_cast<F>(A[1]) / a3;
+  const F d = static_cast<F>(A[0]) / a3;
+  const F p = c - b * b / F(3);
+  const F q = F(2) * b * b * b / F(27) - b * c / F(3) + d;
+  const F delta = q * q / F(4) + p * p * p / F(27);
+  constexpr F k2Pi3 = F(2.0943951023931954923084289221863353L);
+  F t;
+  if (delta < F(0)) {
+    // Three real roots: u = m*cis(phi/3), |u|^2 = -p/3, and the k-th
+    // root collapses to 2*m*cos((phi + 2*pi*k)/3).
+    const F m = std::sqrt(-p / F(3));
+    const F phi = std::atan2(std::sqrt(-delta), -q / F(2));
+    t = F(2) * m * std::cos((phi + k2Pi3 * static_cast<F>(branch)) / F(3));
+  } else {
+    // One real root: u is real (or pi/3-rotated for negative radicand
+    // under the principal cube root); Re of the k-th branch is
+    // (m - p/(3m)) * cos(theta) with theta a multiple of pi/3, so the
+    // cosine is a constant +-1 or +-1/2.
+    const F v = -q / F(2) + std::sqrt(delta);
+    const F m = std::cbrt(std::fabs(v));
+    static constexpr F kCosPos[3] = {F(1), F(-0.5), F(-0.5)};  // v >= 0
+    static constexpr F kCosNeg[3] = {F(0.5), F(-1), F(0.5)};   // v < 0
+    const F cosw = v < F(0) ? kCosNeg[branch] : kCosPos[branch];
+    t = (m - p / (F(3) * m)) * cosw;  // m == 0 degenerates to inf: guard
+  }
+  const F root = t - b / F(3);
+  if (!std::isfinite(root) || root < F(-9.2e18L) || root > F(9.2e18L)) return false;
+  *est = static_cast<i64>(std::floor(root + F(1e-9L)));
+  return true;
 }
 
 /// Static classification of the solver bind() will pick for a level
@@ -132,9 +180,18 @@ std::string Collapsed::describe() const {
     } else {
       s += ", recovered by exact binary search\n";
     }
-    s += "    lowered solver: " +
-         std::string(level_solver_kind_name(planned_solver(lf, k, c))) + "\n";
+    const LevelSolverKind kind = planned_solver(lf, k, c);
+    s += "    lowered solver: " + std::string(level_solver_kind_name(kind));
+    // Quadratic and bytecode-program levels evaluate 4 pcs per SIMD lane
+    // in the batched recovery entry points (recover4 / recover_blocks4).
+    if (kind == LevelSolverKind::Quadratic || kind == LevelSolverKind::Program)
+      s += " [lane-batched x" + std::to_string(simd::kLanes) + "]";
+    s += "\n";
   }
+  s += "runtime simd abi: " + std::string(simd::abi_name()) + " (" +
+       std::to_string(simd::kLanes) +
+       " lanes; lane-strided block fills, lane-batched quadratic and "
+       "bytecode-program solvers)\n";
   return s;
 }
 
@@ -164,11 +221,15 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
   }
 
   // Engine rank polynomials get the parameters folded in (fewer terms,
-  // no runtime parameter powers); the seed-baseline interpreter keeps the
-  // unfolded originals so recover_interpreted() measures the seed cost.
+  // no runtime parameter powers) and, when small enough, a flat
+  // multiply-add form that skips the generic power loop entirely; the
+  // seed-baseline interpreter keeps the unfolded originals so
+  // recover_interpreted() measures the seed cost.
   for (int k = 0; k < c; ++k) {
     const Polynomial& R = im.rs.prefix_rank[static_cast<size_t>(k)];
-    ev.prank_.emplace_back(fold_params(R, params), im.slots);
+    const Polynomial folded = fold_params(R, params);
+    ev.prank_.emplace_back(folded, im.slots);
+    ev.prank_flat_.push_back(FlatPoly::build(folded, im.slots));
     ev.prank_interp_.emplace_back(R, im.slots);
   }
 
@@ -195,14 +256,22 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
     try {
       i64 den = 1;
       for (const auto& a : lf.coeffs) den = lcm_i64(den, a.denominator_lcm());
-      for (const auto& a : lf.coeffs)
-        sv.scaled.emplace_back(fold_params(a * Rational(den), params), im.slots);
+      for (const auto& a : lf.coeffs) {
+        const Polynomial pe = fold_params(a * Rational(den), params);
+        // Flat multiply-add fast path for the guard coefficients (most
+        // A_e are low-degree after folding); CompiledPoly stays the
+        // exact fallback when the flat form doesn't fit.
+        if (sv.scaled.size() < sv.flat.size())
+          sv.flat[sv.scaled.size()] = FlatPoly::build(pe, im.slots);
+        sv.scaled.emplace_back(pe, im.slots);
+      }
     } catch (const OverflowError&) {
       // Scaling left the exact int64 coefficient range; without guard
       // coefficients no specialized solver can run, so this level
       // degrades to exact binary search — and solver_kind() reports it
       // truthfully (solve_level's early exit handles empty scaled).
       sv.scaled.clear();
+      sv.flat = {};
       sv.kind = LevelSolverKind::Search;
       continue;
     }
@@ -217,24 +286,85 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
   ev.total_ = narrow_i64(im.rs.total.eval_i128(pv));
   if (ev.total_ <= 0)
     throw SpecError("bind: the iteration domain is empty for these parameters");
+
+  // Prove the exact-double lane path: conservative per-slot magnitude
+  // bounds (every point the recovery evaluates keeps loop slots inside
+  // their clamped level bounds and the pc slot inside [1, total]), then
+  // enable plain-double evaluation wherever every intermediate provably
+  // stays far below the 2^53 exact-integer limit of double.  Levels
+  // whose coefficients and Horner guard all pass run their lane-batched
+  // solves without any 128-bit arithmetic — bit-exact either way.
+  {
+    double B[kMaxSlots] = {0.0};
+    for (size_t s = 0; s < ev.nslots_; ++s)
+      B[s] = std::fabs(static_cast<double>(ev.base_[s]));
+    B[ev.pc_slot_] = static_cast<double>(ev.total_);
+    auto bound_abs = [&](const FoldedBound& b, int level) {
+      double v = std::fabs(static_cast<double>(b.cst));
+      for (int t = 0; t < b.nterms; ++t) {
+        // Level bounds reference outer loop slots only; anything else
+        // (malformed spec) poisons the proof instead of under-counting.
+        if (b.slot[t] >= level) return 1.0e300;
+        v += std::fabs(static_cast<double>(b.coef[t])) * B[b.slot[t]];
+      }
+      return v;
+    };
+    for (int k = 0; k < c; ++k)
+      B[static_cast<size_t>(k)] =
+          std::max(bound_abs(ev.bounds_lo_[static_cast<size_t>(k)], k),
+                   bound_abs(ev.bounds_hi_[static_cast<size_t>(k)], k)) +
+          2.0;  // margin for the guard's x+1 probes
+
+    for (int k = 0; k < c; ++k) {
+      ev.prank_flat_[static_cast<size_t>(k)].enable_f64(B);
+      CollapsedEval::LevelSolver& sv = ev.solvers_[static_cast<size_t>(k)];
+      const int deg = static_cast<int>(sv.scaled.size()) - 1;
+      if (deg < 1) continue;
+      bool ok = true;
+      double horner = 0.0;
+      for (int e = deg; e >= 0; --e) {
+        const FlatPoly& f = sv.flat[static_cast<size_t>(e)];
+        if (!f.usable()) {
+          ok = false;
+          break;
+        }
+        sv.flat[static_cast<size_t>(e)].enable_f64(B);
+        if (!f.exact_f64()) {
+          ok = false;
+          break;
+        }
+        // Worst-case Horner intermediate |A_deg*t^... + A_e| at |t| <= B_k.
+        horner = horner * B[static_cast<size_t>(k)] + f.value_bound(B);
+        if (horner >= 1.0e15) {
+          ok = false;
+          break;
+        }
+      }
+      sv.lanes_f64 = ok;
+    }
+  }
   return ev;
+}
+
+i128 CollapsedEval::eval_rank(int k, const i64* pt) const {
+  const FlatPoly& f = prank_flat_[static_cast<size_t>(k)];
+  if (f.usable()) return f.eval_i128(pt);
+  return prank_[static_cast<size_t>(k)].eval_i128(std::span<const i64>(pt, nslots_));
 }
 
 i64 CollapsedEval::rank(std::span<const i64> idx) const {
   std::array<i64, kMaxSlots> pt;
   std::memcpy(pt.data(), base_.data(), nslots_ * sizeof(i64));
   for (int k = 0; k < c_; ++k) pt[static_cast<size_t>(k)] = idx[static_cast<size_t>(k)];
-  return narrow_i64(prank_[static_cast<size_t>(c_) - 1].eval_i128(
-      std::span<const i64>(pt.data(), nslots_)));
+  return narrow_i64(eval_rank(c_ - 1, pt.data()));
 }
 
 i64 CollapsedEval::search_level(int k, std::span<i64> pt, i64 pc) const {
   const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
   const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
-  const CompiledPoly& R = prank_[static_cast<size_t>(k)];
   auto rank_at = [&](i64 t) {
     pt[static_cast<size_t>(k)] = t;
-    return R.eval_i128(std::span<const i64>(pt.data(), nslots_));
+    return eval_rank(k, pt.data());
   };
   i64 lo = lb;
   i64 hi = ub - 1;
@@ -291,6 +421,46 @@ i64 CollapsedEval::guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
   return x;
 }
 
+/// guard_level with the Horner boundary test in plain double — only
+/// reached when bind() proved (LevelSolver::lanes_f64) that every
+/// intermediate is an exact integer below 2^53, so the test decides
+/// identically to the i128 version.
+i64 CollapsedEval::guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                                   const double* A, int deg,
+                                   RecoveryStats* stats) const {
+  const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
+  const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
+
+  i64 x = estimate;
+  if (x < lb) x = lb;
+  if (x > ub - 1) x = ub - 1;
+
+  auto above = [&](i64 t) {  // A(t) > 0  <=>  rank(prefix, t) > pc
+    const double td = static_cast<double>(t);
+    double v = A[deg];
+    for (int e = deg - 1; e >= 0; --e) v = v * td + A[e];
+    return v > 0.0;
+  };
+
+  int steps = 0;
+  while (x > lb && above(x) && steps < kMaxCorrection) {
+    --x;
+    ++steps;
+  }
+  while (x < ub - 1 && !above(x + 1) && steps < kMaxCorrection) {
+    ++x;
+    ++steps;
+  }
+  if (steps >= kMaxCorrection) {
+    const i64 val = search_level(k, pt, pc);  // formula was badly off
+    if (stats) ++stats->fallback;
+    return val;
+  }
+  if (stats) ++(steps > 0 ? stats->corrected : stats->closed_form);
+  pt[static_cast<size_t>(k)] = x;
+  return x;
+}
+
 i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
                                RecoveryStats* stats) const {
   const LevelSolver& sv = solvers_[static_cast<size_t>(k)];
@@ -307,7 +477,10 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
 
   try {
     i128 A[5];
-    for (int e = 0; e <= deg; ++e) A[e] = sv.scaled[static_cast<size_t>(e)].eval_i128(pts);
+    for (int e = 0; e <= deg; ++e)
+      A[e] = sv.flat[static_cast<size_t>(e)].usable()
+                 ? sv.flat[static_cast<size_t>(e)].eval_i128(pt.data())
+                 : sv.scaled[static_cast<size_t>(e)].eval_i128(pts);
 
     switch (sv.kind) {
       case LevelSolverKind::ExactDivision: {
@@ -334,42 +507,8 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
         return guard_level(k, pt, pc, est, A, deg, stats);
       }
       case LevelSolverKind::Cubic: {
-        // Real-arithmetic Cardano, algebraically identical to the branch-k
-        // complex formula u*cis(k,3) - p/(3*u*cis(k,3)) - b/3 that the
-        // symbolic root encodes (only the real part is needed for the
-        // floor).  Three-real-root cubics (negative discriminant) take the
-        // Viete trigonometric form; no complex arithmetic anywhere.
-        if (A[3] == 0) break;
-        const long double a3 = static_cast<long double>(A[3]);
-        const long double b = static_cast<long double>(A[2]) / a3;
-        const long double c = static_cast<long double>(A[1]) / a3;
-        const long double d = static_cast<long double>(A[0]) / a3;
-        const long double p = c - b * b / 3.0L;
-        const long double q = 2.0L * b * b * b / 27.0L - b * c / 3.0L + d;
-        const long double delta = q * q / 4.0L + p * p * p / 27.0L;
-        constexpr long double k2Pi3 = 2.0943951023931954923084289221863353L;
-        long double t;
-        if (delta < 0.0L) {
-          // Three real roots: u = m*cis(phi/3), |u|^2 = -p/3, and the
-          // k-th root collapses to 2*m*cos((phi + 2*pi*k)/3).
-          const long double m = std::sqrt(-p / 3.0L);
-          const long double phi = std::atan2(std::sqrt(-delta), -q / 2.0L);
-          t = 2.0L * m * std::cos((phi + k2Pi3 * static_cast<long double>(sv.branch)) / 3.0L);
-        } else {
-          // One real root: u is real (or pi/3-rotated for negative
-          // radicand under the principal cube root); Re of the k-th
-          // branch is (m - p/(3m)) * cos(theta) with theta a multiple of
-          // pi/3, so the cosine is a constant +-1 or +-1/2.
-          const long double v = -q / 2.0L + std::sqrt(delta);
-          const long double m = std::cbrt(std::fabs(v));
-          static constexpr long double kCosPos[3] = {1.0L, -0.5L, -0.5L};  // v >= 0
-          static constexpr long double kCosNeg[3] = {0.5L, -1.0L, 0.5L};   // v < 0
-          const long double cosw = v < 0.0L ? kCosNeg[sv.branch] : kCosPos[sv.branch];
-          t = (m - p / (3.0L * m)) * cosw;  // m == 0 degenerates to inf: search
-        }
-        const long double root = t - b / 3.0L;
-        if (!std::isfinite(root) || root < -9.2e18L || root > 9.2e18L) break;
-        const i64 est = static_cast<i64>(std::floor(root + 1e-9L));
+        i64 est;
+        if (!cubic_estimate<long double>(A, sv.branch, &est)) break;
         return guard_level(k, pt, pc, est, A, deg, stats);
       }
       case LevelSolverKind::Program: {
@@ -399,13 +538,26 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
 }
 
 /// Innermost index is linear with unit slope: i = lb + (pc - R(prefix, lb)).
+/// `flat`, when usable, short-circuits the generic rank evaluation (the
+/// engine paths pass the bound flat form; the seed interpreter passes
+/// nullptr so it keeps measuring the seed cost).  The lane-batched
+/// entry points set `lane_f64`, taking the proven-exact double stream
+/// when bind() established it.
 void CollapsedEval::recover_innermost(std::span<i64> pt, std::span<i64> idx, i64 pc,
-                                      const CompiledPoly& inner_rank) const {
+                                      const CompiledPoly& inner_rank,
+                                      const FlatPoly* flat, bool lane_f64) const {
   const int kl = c_ - 1;
   const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
   pt[static_cast<size_t>(kl)] = lb;
-  const i64 r0 =
-      narrow_i64(inner_rank.eval_i128(std::span<const i64>(pt.data(), nslots_)));
+  i64 r0;
+  if (flat && lane_f64 && flat->exact_f64()) {
+    r0 = static_cast<i64>(flat->eval_f64(pt.data()));
+  } else {
+    r0 = narrow_i64(
+        flat && flat->usable()
+            ? flat->eval_i128(pt.data())
+            : inner_rank.eval_i128(std::span<const i64>(pt.data(), nslots_)));
+  }
   idx[static_cast<size_t>(kl)] = lb + (pc - r0);
 }
 
@@ -416,7 +568,230 @@ void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) co
   std::span<i64> pts(pt.data(), nslots_);
   for (int k = 0; k + 1 < c_; ++k)
     idx[static_cast<size_t>(k)] = solve_level(k, pts, pc, stats);
-  recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1]);
+  recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1],
+                    &prank_flat_[static_cast<size_t>(c_) - 1]);
+}
+
+void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
+                                 RecoveryStats* stats) const {
+  const LevelSolver& sv = solvers_[static_cast<size_t>(k)];
+  auto lane_pt = [&](int l) {
+    return std::span<i64>(pts + static_cast<size_t>(l) * kMaxSlots, nslots_);
+  };
+
+  // No guard coefficients: Search levels, or bind() dropped them on
+  // overflow — only exact binary search can recover those.
+  const int deg = static_cast<int>(sv.scaled.size()) - 1;
+  if (deg < 1) {
+    for (int l = 0; l < 4; ++l) {
+      search_level(k, lane_pt(l), pcs[l]);
+      if (stats) ++stats->fallback;
+    }
+    return;
+  }
+
+  // Exact guard coefficients per lane (needed by the guard regardless of
+  // how the estimate is produced).  When bind() proved the exact-double
+  // path (lanes_f64), all four lanes evaluate each coefficient in one
+  // vectorizable multiply-add sweep with no 128-bit arithmetic;
+  // otherwise checked i128, where a lane whose exact arithmetic leaves
+  // the checked range drops to the scalar solver — astronomically rare,
+  // still exact.
+  const bool f64 = sv.lanes_f64;
+  double Ad[4][5] = {};  // filled (and read) only on the f64 path
+  i128 A[4][5];
+  bool lane_ok[4] = {true, true, true, true};
+  if (f64) {
+    for (int e = 0; e <= deg; ++e) {
+      double col[4];
+      sv.flat[static_cast<size_t>(e)].eval_f64_lanes(pts, kMaxSlots, col);
+      for (int l = 0; l < 4; ++l) Ad[l][e] = col[l];
+    }
+  } else {
+    for (int l = 0; l < 4; ++l) {
+      try {
+        for (int e = 0; e <= deg; ++e)
+          A[l][e] = sv.flat[static_cast<size_t>(e)].usable()
+                        ? sv.flat[static_cast<size_t>(e)].eval_i128(
+                              pts + static_cast<size_t>(l) * kMaxSlots)
+                        : sv.scaled[static_cast<size_t>(e)].eval_i128(
+                              std::span<const i64>(
+                                  pts + static_cast<size_t>(l) * kMaxSlots, nslots_));
+      } catch (const OverflowError&) {
+        lane_ok[l] = false;
+      }
+    }
+  }
+
+  // Per-lane estimates; est_ok lanes finish through the scalar exact
+  // guard, the rest through the scalar solver / binary search.
+  i64 est[4] = {0, 0, 0, 0};
+  bool est_ok[4] = {false, false, false, false};
+  switch (sv.kind) {
+    case LevelSolverKind::ExactDivision: {
+      // Exact per lane (no floating point, no guard) — same semantics as
+      // the scalar solver.  The f64 coefficients are exact integers, so
+      // materializing them back into i128 keeps the division exact.
+      for (int l = 0; l < 4; ++l) {
+        if (!lane_ok[l]) continue;
+        if (f64) {
+          A[l][0] = static_cast<i128>(Ad[l][0]);
+          A[l][1] = static_cast<i128>(Ad[l][1]);
+        }
+        if (A[l][1] <= 0) {
+          lane_ok[l] = false;  // slope violates the model here: search
+          continue;
+        }
+        const i64 x = floor_div_i128_to_i64(-A[l][0], A[l][1]);
+        const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(lane_pt(l).data());
+        const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(lane_pt(l).data());
+        if (x < lb || x > ub - 1) {
+          lane_ok[l] = false;  // inconsistent pc: search decides
+          continue;
+        }
+        if (stats) ++stats->closed_form;
+        lane_pt(l)[static_cast<size_t>(k)] = x;
+      }
+      for (int l = 0; l < 4; ++l)
+        if (!lane_ok[l]) {
+          search_level(k, lane_pt(l), pcs[l]);
+          if (stats) ++stats->fallback;
+        }
+      return;
+    }
+    case LevelSolverKind::Quadratic: {
+      // The quadratic formula across the four lanes at once: per-lane
+      // discriminants (double on the f64 path — the estimate doesn't
+      // need exactness, the guard does), then one vector sqrt / divide.
+      double dA1[4] = {0, 0, 0, 0}, dA2[4] = {1, 1, 1, 1}, ddisc[4] = {0, 0, 0, 0};
+      for (int l = 0; l < 4; ++l) {
+        if (!lane_ok[l]) continue;
+        if (f64) {
+          const double disc = Ad[l][1] * Ad[l][1] - 4.0 * Ad[l][2] * Ad[l][0];
+          if (disc < 0.0 || Ad[l][2] == 0.0) {
+            lane_ok[l] = false;  // degenerate here: search / scalar solve
+            continue;
+          }
+          ddisc[l] = disc;
+          dA1[l] = Ad[l][1];
+          dA2[l] = Ad[l][2];
+          continue;
+        }
+        try {
+          const i128 disc = checked_sub(
+              checked_mul(A[l][1], A[l][1]),
+              checked_mul(checked_mul(4, A[l][2]), A[l][0]));
+          if (disc < 0 || A[l][2] == 0) {
+            lane_ok[l] = false;  // degenerate here: search
+            continue;
+          }
+          ddisc[l] = static_cast<double>(disc);
+          dA1[l] = static_cast<double>(A[l][1]);
+          dA2[l] = static_cast<double>(A[l][2]);
+        } catch (const OverflowError&) {
+          lane_ok[l] = false;
+        }
+      }
+      const simd::vf64 s = simd::sqrt(simd::set(ddisc[0], ddisc[1], ddisc[2], ddisc[3]));
+      const simd::vf64 a1 = simd::set(dA1[0], dA1[1], dA1[2], dA1[3]);
+      const simd::vf64 num =
+          sv.branch == 1 ? simd::sub(simd::neg(a1), s) : simd::add(simd::neg(a1), s);
+      const simd::vf64 root = simd::div(
+          num, simd::mul(simd::set1(2.0), simd::set(dA2[0], dA2[1], dA2[2], dA2[3])));
+      const simd::vf64 flo = simd::floor(simd::add(root, simd::set1(1e-9)));
+      for (int l = 0; l < 4; ++l) {
+        if (!lane_ok[l]) continue;
+        const double r = simd::lane(root, l);
+        if (!std::isfinite(r) || r < -9.2e18 || r > 9.2e18) continue;
+        est[l] = static_cast<i64>(simd::lane(flo, l));
+        est_ok[l] = true;
+      }
+      break;
+    }
+    case LevelSolverKind::Cubic: {
+      // Double-precision Cardano per lane (the scalar engine runs long
+      // double; the guard absorbs the difference).
+      for (int l = 0; l < 4; ++l) {
+        if (!lane_ok[l]) continue;
+        est_ok[l] = f64 ? cubic_estimate<double>(Ad[l], sv.branch, &est[l])
+                        : cubic_estimate<double>(A[l], sv.branch, &est[l]);
+      }
+      break;
+    }
+    case LevelSolverKind::Program: {
+      // The bytecode program evaluates all four lanes in one pass.
+      RootValue z[4];
+      sv.program.eval4(pts, kMaxSlots, z);
+      for (int l = 0; l < 4; ++l) {
+        if (!lane_ok[l] || !z[l].finite() || z[l].re < -9.2e18L || z[l].re > 9.2e18L)
+          continue;
+        est[l] = static_cast<i64>(std::floor(z[l].re + 1e-9L));
+        est_ok[l] = true;
+      }
+      break;
+    }
+    case LevelSolverKind::Interpreted: {
+      for (int l = 0; l < 4; ++l) {
+        if (!lane_ok[l]) continue;
+        const cld z = closed_[static_cast<size_t>(k)].eval(
+            std::span<const i64>(pts + static_cast<size_t>(l) * kMaxSlots, nslots_));
+        if (!std::isfinite(z.real()) || !std::isfinite(z.imag()) ||
+            z.real() < -9.2e18L || z.real() > 9.2e18L)
+          continue;
+        est[l] = static_cast<i64>(std::floor(z.real() + 1e-9L));
+        est_ok[l] = true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  for (int l = 0; l < 4; ++l) {
+    if (lane_ok[l] && est_ok[l]) {
+      if (f64) {
+        guard_level_f64(k, lane_pt(l), pcs[l], est[l], Ad[l], deg, stats);
+        continue;
+      }
+      try {
+        guard_level(k, lane_pt(l), pcs[l], est[l], A[l], deg, stats);
+        continue;
+      } catch (const OverflowError&) {
+        // Horner guard left the checked range: exact search below.
+      }
+      search_level(k, lane_pt(l), pcs[l]);
+      if (stats) ++stats->fallback;
+    } else if (lane_ok[l]) {
+      search_level(k, lane_pt(l), pcs[l]);
+      if (stats) ++stats->fallback;
+    } else {
+      solve_level(k, lane_pt(l), pcs[l], stats);
+    }
+  }
+}
+
+void CollapsedEval::recover4(const i64 pcs[4], std::span<i64> out,
+                             RecoveryStats* stats) const {
+  const size_t d = static_cast<size_t>(c_);
+  if (out.size() < 4 * d)
+    throw SpecError("recover4: output span too small (needs 4*depth())");
+  for (int l = 0; l < 4; ++l)
+    if (pcs[l] < 1 || pcs[l] > total_)
+      throw SolveError("recover4: pc outside [1, trip_count()]");
+
+  i64 pts[4][kMaxSlots];
+  for (int l = 0; l < 4; ++l) {
+    std::memcpy(pts[l], base_.data(), nslots_ * sizeof(i64));
+    pts[l][pc_slot_] = pcs[l];
+  }
+  for (int k = 0; k + 1 < c_; ++k) solve_level4(k, &pts[0][0], pcs, stats);
+  for (int l = 0; l < 4; ++l) {
+    std::span<i64> pt(pts[l], nslots_);
+    std::span<i64> row = out.subspan(static_cast<size_t>(l) * d, d);
+    for (int k = 0; k + 1 < c_; ++k) row[static_cast<size_t>(k)] = pts[l][k];
+    recover_innermost(pt, row, pcs[l], prank_[d - 1], &prank_flat_[d - 1],
+                      /*lane_f64=*/true);
+  }
 }
 
 i64 CollapsedEval::recover_block(i64 pc_lo, i64 n, std::span<i64> out,
@@ -441,6 +816,69 @@ i64 CollapsedEval::recover_block(i64 pc_lo, i64 n, std::span<i64> out,
       },
       stats);
   return filled;
+}
+
+void CollapsedEval::fill_rows_lanes(std::span<i64> idx, i64 pc, i64 hi, i64* out,
+                                    i64 stride) const {
+  const size_t d = static_cast<size_t>(c_);
+  i64 filled = 0;
+  for_each_row_from(idx, pc, hi, [&](const i64* row, i64 j_begin, i64 j_end) {
+    const i64 len = j_end - j_begin;
+    // One broadcast store stream per outer column, one iota stream for
+    // the innermost — the structure-of-arrays fill the SIMD bodies read.
+    for (size_t k = 0; k + 1 < d; ++k)
+      simd::fill_broadcast(out + k * static_cast<size_t>(stride) + filled, len, row[k]);
+    simd::fill_iota(out + (d - 1) * static_cast<size_t>(stride) + filled, len, j_begin);
+    filled += len;
+  });
+}
+
+i64 CollapsedEval::recover_block_lanes(i64 pc_lo, i64 n, std::span<i64> out, i64 stride,
+                                       RecoveryStats* stats) const {
+  if (n <= 0) return 0;
+  if (pc_lo < 1 || pc_lo > total_)
+    throw SolveError("recover_block_lanes: pc_lo outside [1, trip_count()]");
+  const i64 m = std::min<i64>(n, total_ - pc_lo + 1);
+  if (stride < m)
+    throw SpecError("recover_block_lanes: stride smaller than the produced rows");
+  const size_t d = static_cast<size_t>(c_);
+  if (out.size() < d * static_cast<size_t>(stride))
+    throw SpecError("recover_block_lanes: output span too small for depth()*stride");
+
+  i64 idx[kMaxDepth];
+  recover(pc_lo, {idx, d}, stats);
+  fill_rows_lanes({idx, d}, pc_lo, pc_lo + m - 1, out.data(), stride);
+  return m;
+}
+
+void CollapsedEval::recover_blocks4(const i64 pcs[4], i64 n, std::span<i64> out,
+                                    i64 stride, i64 rows[4], RecoveryStats* stats) const {
+  const size_t d = static_cast<size_t>(c_);
+  if (n <= 0) {
+    for (int b = 0; b < 4; ++b) rows[b] = 0;
+    return;
+  }
+  if (out.size() < 4 * d * static_cast<size_t>(stride))
+    throw SpecError("recover_blocks4: output span too small for 4*depth()*stride");
+  for (int b = 0; b < 4; ++b) {
+    if (pcs[b] < 1 || pcs[b] > total_)
+      throw SolveError("recover_blocks4: pc outside [1, trip_count()]");
+    rows[b] = std::min<i64>(n, total_ - pcs[b] + 1);
+    if (stride < rows[b])
+      throw SpecError("recover_blocks4: stride smaller than the produced rows");
+  }
+
+  // One lane-parallel solve covers all four block starts; each block
+  // then fills its lane-strided tile by row arithmetic.
+  i64 seed[4 * kMaxDepth];
+  recover4(pcs, {seed, 4 * d}, stats);
+  for (int b = 0; b < 4; ++b) {
+    i64 idx[kMaxDepth];
+    std::memcpy(idx, seed + static_cast<size_t>(b) * d, d * sizeof(i64));
+    fill_rows_lanes({idx, d}, pcs[b], pcs[b] + rows[b] - 1,
+                    out.data() + static_cast<size_t>(b) * d * static_cast<size_t>(stride),
+                    stride);
+  }
 }
 
 void CollapsedEval::recover_interpreted(i64 pc, std::span<i64> idx,
@@ -495,7 +933,7 @@ void CollapsedEval::recover_interpreted(i64 pc, std::span<i64> idx,
     pt[static_cast<size_t>(k)] = val;
     idx[static_cast<size_t>(k)] = val;
   }
-  recover_innermost(pts, idx, pc, prank_interp_[static_cast<size_t>(c_) - 1]);
+  recover_innermost(pts, idx, pc, prank_interp_[static_cast<size_t>(c_) - 1], nullptr);
 }
 
 bool CollapsedEval::recover_closed_raw(i64 pc, std::span<i64> idx) const {
@@ -511,7 +949,8 @@ bool CollapsedEval::recover_closed_raw(i64 pc, std::span<i64> idx) const {
     idx[static_cast<size_t>(k)] = x;
   }
   std::span<i64> pts(pt.data(), nslots_);
-  recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1]);
+  recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1],
+                    &prank_flat_[static_cast<size_t>(c_) - 1]);
   return true;
 }
 

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flat_poly.hpp"
 #include "core/folded_bound.hpp"
 #include "core/ranking.hpp"
 #include "core/runtime_limits.hpp"
@@ -158,6 +159,42 @@ class CollapsedEval {
   i64 recover_block(i64 pc_lo, i64 n, std::span<i64> out,
                     RecoveryStats* stats = nullptr) const;
 
+  /// Lane-strided (structure-of-arrays) batched recovery: one full solve
+  /// at pc_lo, then SIMD row fills.  Column k holds index k of every
+  /// recovered row — out[k*stride + r] for row r — which is exactly the
+  /// layout the SIMD kernel bodies consume (collapsed_for_simd_blocks),
+  /// so no scalar transpose sits between recovery and execution.
+  /// `stride` is the column pitch and must be >= the produced row count
+  /// min(n, trip_count() - pc_lo + 1); out must hold depth()*stride
+  /// values.  Returns the number of rows produced.  Zero heap allocation.
+  i64 recover_block_lanes(i64 pc_lo, i64 n, std::span<i64> out, i64 stride,
+                          RecoveryStats* stats = nullptr) const;
+
+  /// Lane-batched recovery of 4 arbitrary pcs (each in [1, trip_count()]):
+  /// the closed-form levels evaluate 4 pcs per SIMD lane — vectorized
+  /// quadratic formula, RecoveryProgram::eval4 bytecode lanes, per-lane
+  /// double-precision cubic — and every lane is corrected by the scalar
+  /// exact integer guard, so the tuples are bit-identical to four
+  /// recover() calls.  This is the §VI-B warp-shaped primitive (one
+  /// independent formula solve per lane, no row walking); the chunked
+  /// SIMD executors use it to amortize 4 chunk-start solves at once.
+  /// `out` receives 4 rows of depth() values (row-major).  Zero heap
+  /// allocation except on LevelSolverKind::Interpreted levels (same
+  /// caveat as recover()).
+  void recover4(const i64 pcs[4], std::span<i64> out, RecoveryStats* stats = nullptr) const;
+
+  /// SIMD-batched block recovery: 4 blocks of up to n consecutive pcs
+  /// each, starting at pcs[0..3].  The 4 block-start solves run
+  /// lane-parallel (recover4), then each block fills lane-strided like
+  /// recover_block_lanes.  Tile b occupies columns [b*depth(),
+  /// (b+1)*depth()) of out — column k of block b is
+  /// out[(b*depth() + k) * stride + r] — and rows[b] receives the rows
+  /// produced for block b (clipped at trip_count()).  out must hold
+  /// 4*depth()*stride values.  Zero heap allocation (Interpreted-level
+  /// caveat as recover()).
+  void recover_blocks4(const i64 pcs[4], i64 n, std::span<i64> out, i64 stride,
+                       i64 rows[4], RecoveryStats* stats = nullptr) const;
+
   /// Seed-era recovery through the generic CompiledExpr interpreter
   /// (complex arithmetic, heap-allocated value vector).  Kept as the
   /// ablation / benchmark baseline for the bytecode engine; results are
@@ -200,23 +237,33 @@ class CollapsedEval {
   /// recover_block does) when the shortfall matters.
   template <class RowFn>
   void for_each_row(i64 lo, i64 hi, RowFn&& fn, RecoveryStats* stats = nullptr) const {
-    const size_t d = static_cast<size_t>(c_);
     i64 idx[kMaxDepth];
-    recover(lo, {idx, d}, stats);
-    i64 pc = lo;
+    recover(lo, {idx, static_cast<size_t>(c_)}, stats);
+    for_each_row_from({idx, static_cast<size_t>(c_)}, lo, hi, static_cast<RowFn&&>(fn));
+  }
+
+  /// Row-wise walk resuming from an already-recovered working tuple:
+  /// `idx` must hold the tuple of rank `pc` on entry (it is the walker's
+  /// scratch, clobbered by the walk).  Same fn contract as
+  /// for_each_row().  The lane-batched executors solve several chunk
+  /// starts at once with recover4() and then walk each chunk from its
+  /// solved tuple through this entry point.
+  template <class RowFn>
+  void for_each_row_from(std::span<i64> idx, i64 pc, i64 hi, RowFn&& fn) const {
+    const size_t d = static_cast<size_t>(c_);
     while (pc <= hi) {
-      const i64 row_last_pc = pc + row_extent({idx, d}) - 1;
+      const i64 row_last_pc = pc + row_extent(idx) - 1;
       const i64 seg_last_pc = std::min(hi, row_last_pc);
       const i64 j_begin = idx[d - 1];
       const i64 j_end = j_begin + (seg_last_pc - pc) + 1;
-      fn(idx, j_begin, j_end);
+      fn(idx.data(), j_begin, j_end);
       pc = seg_last_pc + 1;
       if (pc > hi) break;
       // The run ended exactly at a row end (a mid-row cut implies
       // seg_last_pc == hi); one odometer step from the row's last point
       // lands on the next row's first point.
       idx[d - 1] = j_end - 1;
-      if (!increment({idx, d})) break;
+      if (!increment(idx)) break;
     }
   }
 
@@ -244,16 +291,28 @@ class CollapsedEval {
     LevelSolverKind kind = LevelSolverKind::Search;
     std::vector<CompiledPoly> scaled;  ///< A_0..A_deg, exact integer-valued,
                                        ///< parameters pre-folded
+    std::array<FlatPoly, 5> flat{};    ///< flat multiply-add forms of the
+                                       ///< low-degree A_e (else unusable)
+    bool lanes_f64 = false;            ///< lane path may run coefficients and
+                                       ///< guard in proven-exact double
     int branch = 0;                    ///< selected convenient branch
     RecoveryProgram program;           ///< Program levels
   };
 
   i64 search_level(int k, std::span<i64> pt, i64 pc) const;
   i64 solve_level(int k, std::span<i64> pt, i64 pc, RecoveryStats* stats) const;
+  void solve_level4(int k, i64* pts, const i64* pcs, RecoveryStats* stats) const;
   i64 guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
                   const i128* A, int deg, RecoveryStats* stats) const;
+  i64 guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                      const double* A, int deg, RecoveryStats* stats) const;
   void recover_innermost(std::span<i64> pt, std::span<i64> idx, i64 pc,
-                         const CompiledPoly& inner_rank) const;
+                         const CompiledPoly& inner_rank, const FlatPoly* flat,
+                         bool lane_f64 = false) const;
+  /// Exact rank-prefix evaluation through the flat form when available.
+  i128 eval_rank(int k, const i64* pt) const;
+  /// Row-walk from a recovered tuple, filling lane-strided columns.
+  void fill_rows_lanes(std::span<i64> idx, i64 pc, i64 hi, i64* out, i64 stride) const;
 
   int c_ = 0;
   size_t nslots_ = 0;
@@ -263,6 +322,7 @@ class CollapsedEval {
   std::array<i64, kMaxSlots> base_{};  // params pre-filled, rest zero
   std::vector<Bound> bounds_lo_, bounds_hi_;
   std::vector<CompiledPoly> prank_;        // per level, parameters pre-folded
+  std::vector<FlatPoly> prank_flat_;       // flat forms of prank_ (else unusable)
   std::vector<CompiledPoly> prank_interp_; // per level, unfolded (seed baseline)
   std::vector<CompiledExpr> closed_;   // per level; may be empty (interpreter)
   std::vector<LevelSolver> solvers_;   // per level

@@ -1,0 +1,175 @@
+#pragma once
+// FlatPoly — bind-time specialization of low-degree integer-valued
+// polynomials into straight-line multiply-add streams.
+//
+// CompiledPoly::eval_i128 is exact but generic: per term it walks a
+// heap-allocated (slot, exponent) vector and calls ipow_checked per
+// factor.  The exact-guard coefficients A_e and the per-level rank
+// polynomials the recovery hot path evaluates are tiny after parameter
+// folding — a handful of terms of total degree <= 4 — so bind() lowers
+// them here: every monomial becomes at most kMaxFactors slot reads
+// multiplied into the coefficient, stored in a fixed inline array.
+// Evaluation is the same checked i128 arithmetic (identical exactness
+// and overflow behaviour), just without the power loop and pointer
+// chasing.  Polynomials that don't fit (too many terms, degree beyond
+// kMaxFactors, coefficients outside the exact i64 range) leave usable()
+// false and the caller keeps the CompiledPoly path.
+//
+// On top of that, enable_f64() proves an *exact double* evaluation:
+// given conservative per-slot magnitude bounds, if every intermediate
+// of the multiply-add stream stays below 2^50, then all intermediates
+// are integers below 2^53 — where IEEE double arithmetic on integers
+// is exact — and eval_f64() returns the same value eval_i128() would,
+// as plain (vectorizable, FMA-friendly) double math.  The lane-batched
+// recovery solvers run their guard arithmetic through this path.
+
+#include <array>
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "math/polynomial.hpp"
+#include "support/int128.hpp"
+
+namespace nrc {
+
+class FlatPoly {
+ public:
+  static constexpr int kMaxTerms = 32;
+  static constexpr int kMaxFactors = 4;  ///< total-degree cap per monomial
+
+  FlatPoly() = default;
+
+  /// Attempt the specialization of `p` over the slot layout `order`.
+  /// Never throws; a polynomial that doesn't fit yields usable() false.
+  static FlatPoly build(const Polynomial& p, std::span<const std::string> order) {
+    FlatPoly f;
+    i64 den = 1;
+    try {
+      den = p.denominator_lcm();
+    } catch (const OverflowError&) {
+      return f;
+    }
+    int n = 0;
+    for (const auto& [mono, coef] : p.terms()) {
+      if (n >= kMaxTerms) return f;
+      Term t;
+      try {
+        const Rational scaled = coef * Rational(den);
+        if (!scaled.is_integer()) return f;  // scaling overflowed into inexactness
+        t.c = scaled.num();
+      } catch (const OverflowError&) {
+        return f;
+      }
+      int nf = 0;
+      for (const auto& [var, exp] : mono.factors()) {
+        int slot = -1;
+        for (size_t s = 0; s < order.size(); ++s) {
+          if (order[s] == var) {
+            slot = static_cast<int>(s);
+            break;
+          }
+        }
+        if (slot < 0) return f;  // unbound variable
+        for (int e = 0; e < exp; ++e) {
+          if (nf >= kMaxFactors) return f;  // degree beyond the flat cap
+          t.s[nf++] = static_cast<signed char>(slot);
+        }
+      }
+      f.t_[static_cast<size_t>(n++)] = t;
+    }
+    f.den_ = den;
+    f.n_ = n;
+    return f;
+  }
+
+  bool usable() const { return n_ >= 0; }
+
+  /// Exact integer value at the point; throws on overflow / inexactness
+  /// exactly like CompiledPoly::eval_i128.
+  i128 eval_i128(const i64* pt) const {
+    i128 acc = 0;
+    for (int i = 0; i < n_; ++i) {
+      const Term& t = t_[static_cast<size_t>(i)];
+      i128 v = t.c;
+      for (int fct = 0; fct < kMaxFactors && t.s[fct] >= 0; ++fct)
+        v = checked_mul(v, pt[static_cast<int>(t.s[fct])]);
+      acc = checked_add(acc, v);
+    }
+    return exact_div(acc, den_);
+  }
+
+  /// Worst-case |value| of the evaluation's intermediates (before the
+  /// final exact division) over points with |pt[s]| <= slot_bound[s].
+  /// Partial products use max(bound, 1) so prefixes are covered too.
+  double value_bound(const double* slot_bound) const {
+    double sum = 0.0;
+    double worst = 0.0;
+    for (int i = 0; i < n_; ++i) {
+      const Term& t = t_[static_cast<size_t>(i)];
+      double v = std::fabs(static_cast<double>(t.c));
+      for (int fct = 0; fct < kMaxFactors && t.s[fct] >= 0; ++fct)
+        v *= std::max(slot_bound[static_cast<int>(t.s[fct])], 1.0);
+      worst = std::max(worst, v);
+      sum += v;
+      worst = std::max(worst, sum);
+    }
+    return worst;
+  }
+
+  /// Enable eval_f64() when every intermediate provably stays below
+  /// 1e15 for points within slot_bound — an order of magnitude of
+  /// margin under the 2^53 exact-integer limit of double.
+  void enable_f64(const double* slot_bound) {
+    f64_ = usable() && value_bound(slot_bound) < 1.0e15;
+  }
+
+  /// True when eval_f64() is proven bit-exact.
+  bool exact_f64() const { return f64_; }
+
+  /// Exact evaluation in plain double arithmetic (requires exact_f64():
+  /// all intermediates are integers below 2^53, so every operation —
+  /// including the final division by the denominator, whose quotient is
+  /// an integer — is exact).
+  double eval_f64(const i64* pt) const {
+    double acc = 0.0;
+    for (int i = 0; i < n_; ++i) {
+      const Term& t = t_[static_cast<size_t>(i)];
+      double v = static_cast<double>(t.c);
+      for (int fct = 0; fct < kMaxFactors && t.s[fct] >= 0; ++fct)
+        v *= static_cast<double>(pt[static_cast<int>(t.s[fct])]);
+      acc += v;
+    }
+    return acc / static_cast<double>(den_);
+  }
+
+  /// Four-lane eval_f64: lane l reads the row pts + l*stride.
+  void eval_f64_lanes(const i64* pts, size_t stride, double out[4]) const {
+    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+    for (int i = 0; i < n_; ++i) {
+      const Term& t = t_[static_cast<size_t>(i)];
+      const double c = static_cast<double>(t.c);
+      double v[4] = {c, c, c, c};
+      for (int fct = 0; fct < kMaxFactors && t.s[fct] >= 0; ++fct) {
+        const size_t s = static_cast<size_t>(static_cast<int>(t.s[fct]));
+        for (int l = 0; l < 4; ++l)
+          v[l] *= static_cast<double>(pts[static_cast<size_t>(l) * stride + s]);
+      }
+      for (int l = 0; l < 4; ++l) acc[l] += v[l];
+    }
+    const double den = static_cast<double>(den_);
+    for (int l = 0; l < 4; ++l) out[l] = acc[l] / den;
+  }
+
+ private:
+  struct Term {
+    i64 c = 0;
+    signed char s[kMaxFactors] = {-1, -1, -1, -1};  // slot per factor; -1 ends
+  };
+  std::array<Term, kMaxTerms> t_{};
+  int n_ = -1;
+  i64 den_ = 1;
+  bool f64_ = false;
+};
+
+}  // namespace nrc

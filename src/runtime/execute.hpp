@@ -47,6 +47,17 @@ enum class OmpSchedule { Static, Dynamic };
 
 namespace detail {
 
+/// Contiguous schedule(static) split of [1, total] among np ranks:
+/// rank t receives `cnt` pcs starting at `lo`.  Shared by the
+/// per-thread, row-segment and simd-block executors so every scheme
+/// slices the collapsed range identically.
+inline void static_thread_range(i64 total, i64 np, i64 t, i64* lo, i64* cnt) {
+  const i64 base = total / np;
+  const i64 rem = total % np;
+  *lo = 1 + t * base + std::min<i64>(t, rem);
+  *cnt = base + (t < rem ? 1 : 0);
+}
+
 /// Run the contiguous pc range [lo, hi] (1-based, inclusive) with one
 /// costly recovery at lo and row arithmetic afterwards (for_each_row):
 /// the innermost bound is evaluated once per row instead of once per
@@ -99,12 +110,9 @@ void collapsed_for_per_thread(const CollapsedEval& cn, Body&& body, RunConfig cf
   const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
 #pragma omp parallel num_threads(nt)
   {
-    const int t = omp_get_thread_num();
-    const i64 np = omp_get_num_threads();
-    const i64 base = total / np;
-    const i64 rem = total % np;
-    const i64 lo = 1 + t * base + std::min<i64>(t, rem);
-    const i64 cnt = base + (t < rem ? 1 : 0);
+    i64 lo, cnt;
+    detail::static_thread_range(total, omp_get_num_threads(), omp_get_thread_num(),
+                                &lo, &cnt);
     if (cnt > 0) detail::run_scalar_range(cn, lo, lo + cnt - 1, body);
   }
 }

@@ -21,6 +21,7 @@
 #include <span>
 
 #include "core/collapse.hpp"
+#include "runtime/execute.hpp"
 
 namespace nrc {
 
@@ -45,12 +46,9 @@ void collapsed_for_row_segments(const CollapsedEval& cn, SegBody&& body, int thr
   const int nt = threads > 0 ? threads : omp_get_max_threads();
 #pragma omp parallel num_threads(nt)
   {
-    const int t = omp_get_thread_num();
-    const i64 np = omp_get_num_threads();
-    const i64 base = total / np;
-    const i64 rem = total % np;
-    const i64 lo = 1 + t * base + std::min<i64>(t, rem);
-    const i64 cnt = base + (t < rem ? 1 : 0);
+    i64 lo, cnt;
+    detail::static_thread_range(total, omp_get_num_threads(), omp_get_thread_num(),
+                                &lo, &cnt);
     if (cnt > 0) detail::run_segments(cn, lo, lo + cnt - 1, body);
   }
 }

@@ -1,0 +1,160 @@
+#pragma once
+// simd_abi — compile-time SIMD target selection for the recovery runtime.
+//
+// The lane-batched solvers (CollapsedEval::recover4 and friends), the
+// RecoveryProgram 4-wide bytecode evaluator and the lane-strided block
+// fills all express their vector arithmetic against this tiny shim
+// instead of raw intrinsics, so exactly one place decides the target:
+//
+//   * AVX2 when the translation unit is compiled with -mavx2 (the CMake
+//     default where the compiler supports it) and NRC_NO_AVX2 is not
+//     defined,
+//   * a portable scalar fallback otherwise — identical lane semantics,
+//     so every caller is written once and the CI scalar leg
+//     (-DNRC_NO_AVX2=ON) exercises the same code paths.
+//
+// Lane width is fixed at 4 (4 x i64 / 4 x double per 256-bit vector).
+// Floating lanes are double, not the long double the scalar engine
+// uses; every consumer runs behind the exact integer correction guard,
+// which absorbs the precision difference (a worse estimate can only
+// cost extra guard steps or a search fallback, never a wrong tuple).
+
+#include <cmath>
+
+#include "support/int128.hpp"  // i64
+
+#if defined(__AVX2__) && !defined(NRC_NO_AVX2)
+#define NRC_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define NRC_SIMD_AVX2 0
+#endif
+
+namespace nrc::simd {
+
+/// Lanes per vector for the batched recovery paths.
+inline constexpr int kLanes = 4;
+
+/// Compile-time ABI tag ("avx2" / "scalar"); recorded in BENCH_recovery
+/// and surfaced by Collapsed::describe().
+inline constexpr const char* abi_name() {
+#if NRC_SIMD_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+// ------------------------------------------------------------ f64 lanes
+
+/// Four double lanes.  Only the operations the recovery solvers need.
+struct vf64 {
+#if NRC_SIMD_AVX2
+  __m256d v;
+#else
+  double v[kLanes];
+#endif
+};
+
+#if NRC_SIMD_AVX2
+
+inline vf64 set1(double x) { return {_mm256_set1_pd(x)}; }
+inline vf64 set(double a, double b, double c, double d) {
+  return {_mm256_setr_pd(a, b, c, d)};
+}
+inline vf64 add(vf64 a, vf64 b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline vf64 sub(vf64 a, vf64 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline vf64 mul(vf64 a, vf64 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline vf64 div(vf64 a, vf64 b) { return {_mm256_div_pd(a.v, b.v)}; }
+inline vf64 sqrt(vf64 a) { return {_mm256_sqrt_pd(a.v)}; }
+inline vf64 neg(vf64 a) { return {_mm256_sub_pd(_mm256_setzero_pd(), a.v)}; }
+inline vf64 floor(vf64 a) { return {_mm256_floor_pd(a.v)}; }
+inline void store(double* p, vf64 a) { _mm256_storeu_pd(p, a.v); }
+
+#else
+
+inline vf64 set1(double x) { return {{x, x, x, x}}; }
+inline vf64 set(double a, double b, double c, double d) { return {{a, b, c, d}}; }
+inline vf64 add(vf64 a, vf64 b) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+inline vf64 sub(vf64 a, vf64 b) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] - b.v[l];
+  return r;
+}
+inline vf64 mul(vf64 a, vf64 b) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+inline vf64 div(vf64 a, vf64 b) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] / b.v[l];
+  return r;
+}
+inline vf64 sqrt(vf64 a) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = std::sqrt(a.v[l]);
+  return r;
+}
+inline vf64 neg(vf64 a) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = -a.v[l];
+  return r;
+}
+inline vf64 floor(vf64 a) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = std::floor(a.v[l]);
+  return r;
+}
+inline void store(double* p, vf64 a) {
+  for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+
+#endif
+
+/// Lane extraction (both ABIs): store-and-load keeps it branch-free.
+inline double lane(vf64 a, int l) {
+  double tmp[kLanes];
+  store(tmp, a);
+  return tmp[l];
+}
+
+// ----------------------------------------------- lane-strided i64 fills
+
+/// dst[0..n) = value.  The broadcast half of the structure-of-arrays
+/// block fill: one store per column per row segment.
+inline void fill_broadcast(i64* dst, i64 n, i64 value) {
+#if NRC_SIMD_AVX2
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  i64 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  for (; i < n; ++i) dst[i] = value;
+#else
+  for (i64 i = 0; i < n; ++i) dst[i] = value;
+#endif
+}
+
+/// dst[0..n) = start, start+1, ...  The innermost column of the
+/// structure-of-arrays block fill.
+inline void fill_iota(i64* dst, i64 n, i64 start) {
+#if NRC_SIMD_AVX2
+  __m256i v = _mm256_add_epi64(_mm256_set1_epi64x(static_cast<long long>(start)),
+                               _mm256_setr_epi64x(0, 1, 2, 3));
+  const __m256i step = _mm256_set1_epi64x(kLanes);
+  i64 i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    v = _mm256_add_epi64(v, step);
+  }
+  for (; i < n; ++i) dst[i] = start + i;
+#else
+  for (i64 i = 0; i < n; ++i) dst[i] = start + i;
+#endif
+}
+
+}  // namespace nrc::simd

@@ -11,7 +11,9 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <span>
+#include <vector>
 
 #include "core/collapse.hpp"
 
@@ -25,11 +27,22 @@ void collapsed_for_warp_sim(const CollapsedEval& cn, int warp_size, Body&& body,
   const int nt = threads > 0 ? threads : omp_get_max_threads();
   const size_t d = static_cast<size_t>(cn.depth());
   const i64 W = warp_size;
+
+  // One block recovery seeds the whole warp: pcs 1..W are exactly the
+  // lanes' starting iterations, so a single lane-strided block solve
+  // stages them as tile[k*W + lane] — the CPU stand-in for §VI-B's
+  // per-warp shared-memory tile (on a GPU, recover_block_lanes's output
+  // layout is what the warp would keep in shared memory).
+  const i64 seeded = std::min<i64>(W, total);
+  std::vector<i64> tile(d * static_cast<size_t>(W));
+  cn.recover_block_lanes(1, seeded, tile, W);
+
 #pragma omp parallel for schedule(static) num_threads(nt)
   for (i64 lane = 0; lane < W; ++lane) {
     if (lane + 1 > total) continue;
     i64 idx[kMaxDepth];
-    cn.recover(lane + 1, {idx, d});  // costly recovery: once per lane
+    for (size_t k = 0; k < d; ++k)
+      idx[k] = tile[k * static_cast<size_t>(W) + static_cast<size_t>(lane)];
     for (i64 pc = lane + 1; pc <= total; pc += W) {
       body(std::span<const i64>(idx, d));
       // Jump W positions to the lane's next iteration; advance() uses

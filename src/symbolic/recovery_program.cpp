@@ -5,6 +5,7 @@
 #include <map>
 
 #include "math/roots.hpp"
+#include "runtime/simd_abi.hpp"
 #include "support/error.hpp"
 
 namespace nrc {
@@ -352,6 +353,149 @@ RootValue RecoveryProgram::eval(std::span<const i64> point) const {
     }
   }
   return {re[n - 1], im[n - 1]};
+}
+
+void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) const {
+  if (!compiled_) throw SolveError("RecoveryProgram::eval4 on an uncompiled program");
+
+  using simd::vf64;
+  vf64 re[kMaxProgramRegs];
+  vf64 im[kMaxProgramRegs];
+  const vf64 zero = simd::set1(0.0);
+
+  // Gather the four lanes of one slot into a vector.
+  auto slot_lanes = [&](int slot) {
+    return simd::set(static_cast<double>(pts[static_cast<size_t>(slot)]),
+                     static_cast<double>(pts[stride + static_cast<size_t>(slot)]),
+                     static_cast<double>(pts[2 * stride + static_cast<size_t>(slot)]),
+                     static_cast<double>(pts[3 * stride + static_cast<size_t>(slot)]));
+  };
+  // Per-lane scalar escape for the ops without a vector form.
+  auto map_lanes = [&](vf64 a, auto&& f) {
+    double r[4];
+    for (int l = 0; l < 4; ++l) r[l] = f(simd::lane(a, l));
+    return simd::set(r[0], r[1], r[2], r[3]);
+  };
+  // Per-lane complex escapes in double (not the scalar eval()'s long
+  // double; the caller's guard absorbs the precision gap).
+  using cd = std::complex<double>;
+  auto map_lanes_c = [&](vf64 ar, vf64 ai, vf64* rr, vf64* ri, auto&& f) {
+    double lr[4], li[4], vr[4], vi[4];
+    simd::store(lr, ar);
+    simd::store(li, ai);
+    for (int l = 0; l < 4; ++l) {
+      const cd z = f(cd{lr[l], li[l]});
+      vr[l] = z.real();
+      vi[l] = z.imag();
+    }
+    *rr = simd::set(vr[0], vr[1], vr[2], vr[3]);
+    *ri = simd::set(vi[0], vi[1], vi[2], vi[3]);
+  };
+
+  const size_t n = code_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Ins& ins = code_[i];
+    switch (ins.op) {
+      case Op::RConst:
+        re[i] = simd::set1(static_cast<double>(ins.re));
+        im[i] = zero;
+        break;
+      case Op::RPoly: {
+        vf64 acc = zero;
+        for (int t = ins.term_lo; t < ins.term_hi; ++t) {
+          const PolyTerm& term = terms_[static_cast<size_t>(t)];
+          vf64 v = simd::set1(static_cast<double>(term.coef));
+          for (int p = term.pow_lo; p < term.pow_hi; ++p) {
+            const PolyPow& pw = pows_[static_cast<size_t>(p)];
+            const vf64 base = slot_lanes(pw.slot);
+            for (int e = 0; e < pw.exp; ++e) v = simd::mul(v, base);
+          }
+          acc = simd::add(acc, v);
+        }
+        re[i] = acc;
+        im[i] = zero;
+        break;
+      }
+      case Op::RAdd:
+        re[i] = simd::add(re[ins.a], re[ins.b]);
+        im[i] = zero;
+        break;
+      case Op::RSub:
+        re[i] = simd::sub(re[ins.a], re[ins.b]);
+        im[i] = zero;
+        break;
+      case Op::RMul:
+        re[i] = simd::mul(re[ins.a], re[ins.b]);
+        im[i] = zero;
+        break;
+      case Op::RDiv:
+        re[i] = simd::div(re[ins.a], re[ins.b]);
+        im[i] = zero;
+        break;
+      case Op::RNeg:
+        re[i] = simd::neg(re[ins.a]);
+        im[i] = zero;
+        break;
+      case Op::RSqrt:
+        re[i] = simd::sqrt(re[ins.a]);  // NaN lanes on negative: guard handles
+        im[i] = zero;
+        break;
+      case Op::RCbrt:
+        re[i] = map_lanes(re[ins.a], [](double x) { return std::cbrt(x); });
+        im[i] = zero;
+        break;
+      case Op::CConst:
+        re[i] = simd::set1(static_cast<double>(ins.re));
+        im[i] = simd::set1(static_cast<double>(ins.im));
+        break;
+      case Op::CAdd:
+        re[i] = simd::add(re[ins.a], re[ins.b]);
+        im[i] = simd::add(im[ins.a], im[ins.b]);
+        break;
+      case Op::CSub:
+        re[i] = simd::sub(re[ins.a], re[ins.b]);
+        im[i] = simd::sub(im[ins.a], im[ins.b]);
+        break;
+      case Op::CMul: {
+        const vf64 ar = re[ins.a], ai = im[ins.a];
+        const vf64 br = re[ins.b], bi = im[ins.b];
+        re[i] = simd::sub(simd::mul(ar, br), simd::mul(ai, bi));
+        im[i] = simd::add(simd::mul(ar, bi), simd::mul(ai, br));
+        break;
+      }
+      case Op::CDiv: {
+        // (a * conj b) / |b|^2 componentwise; moderate magnitudes only
+        // reach this path, and the exact guard absorbs rounding.
+        const vf64 ar = re[ins.a], ai = im[ins.a];
+        const vf64 br = re[ins.b], bi = im[ins.b];
+        const vf64 den = simd::add(simd::mul(br, br), simd::mul(bi, bi));
+        re[i] = simd::div(simd::add(simd::mul(ar, br), simd::mul(ai, bi)), den);
+        im[i] = simd::div(simd::sub(simd::mul(ai, br), simd::mul(ar, bi)), den);
+        break;
+      }
+      case Op::CNeg:
+        re[i] = simd::neg(re[ins.a]);
+        im[i] = simd::neg(im[ins.a]);
+        break;
+      case Op::CSqrt:
+        map_lanes_c(re[ins.a], im[ins.a], &re[i], &im[i],
+                    [](const cd& z) { return std::sqrt(z); });
+        break;
+      case Op::CCbrt:
+        // Same principal branch as principal_cbrt (arg/3 in (-pi/3,
+        // pi/3]), computed in double.
+        map_lanes_c(re[ins.a], im[ins.a], &re[i], &im[i], [](const cd& z) {
+          if (z == cd{0.0, 0.0}) return cd{0.0, 0.0};
+          const double m = std::cbrt(std::hypot(z.real(), z.imag()));
+          const double a = std::atan2(z.imag(), z.real()) / 3.0;
+          return cd{m * std::cos(a), m * std::sin(a)};
+        });
+        break;
+    }
+  }
+  for (int l = 0; l < 4; ++l)
+    out[l] = {static_cast<long double>(simd::lane(re[n - 1], l)),
+              static_cast<long double>(simd::lane(im[n - 1], l))};
 }
 
 bool RecoveryProgram::uses_complex() const {

@@ -64,6 +64,17 @@ class RecoveryProgram {
   /// generic evaluators).  Allocation-free.
   RootValue eval(std::span<const i64> point) const;
 
+  /// Lane-batched evaluation on four integer points at once: lane l
+  /// reads the row pts + l*stride (same slot layout as eval()).  The
+  /// instruction list runs over 4-wide SIMD register files (simd_abi);
+  /// arithmetic is double precision, not the scalar eval()'s long
+  /// double — every caller sits behind the exact integer correction
+  /// guard, which absorbs the difference.  Complex square/cube roots
+  /// drop to per-lane scalar calls (they are a handful of instructions
+  /// in a Ferrari tree); everything else, including the polynomial
+  /// leaves, is vectorized.  Allocation-free.
+  void eval4(const i64* pts, size_t stride, RootValue out[4]) const;
+
   /// Instruction count (diagnostics / tests).
   size_t size() const { return code_.size(); }
 

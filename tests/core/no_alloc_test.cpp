@@ -88,6 +88,49 @@ TEST(NoAllocation, RecoverBlockHotPath) {
   }
 }
 
+TEST(NoAllocation, RecoverBlockLanesHotPath) {
+  // The lane-strided (SoA) batched path: SIMD fills over caller-owned
+  // columns, no hidden scratch.
+  for (auto& c : engine_cases()) {
+    const size_t d = static_cast<size_t>(c.cn.depth());
+    constexpr i64 kBlock = 128;
+    std::vector<i64> out(d * kBlock);  // caller-owned buffer: not hot path
+    c.cn.recover_block_lanes(1, kBlock, out, kBlock);
+
+    const long long before = g_allocations.load();
+    for (i64 lo = 1; lo <= c.cn.trip_count(); lo += kBlock)
+      c.cn.recover_block_lanes(lo, kBlock, out, kBlock);
+    const long long after = g_allocations.load();
+    EXPECT_EQ(after, before) << c.name << ": recover_block_lanes() allocated";
+  }
+}
+
+TEST(NoAllocation, LaneBatchedRecoveryHotPath) {
+  // recover4 / recover_blocks4: lane-parallel solves (including the
+  // 4-wide bytecode program on the quartic case) over stack scratch.
+  for (auto& c : engine_cases()) {
+    const size_t d = static_cast<size_t>(c.cn.depth());
+    constexpr i64 kBlock = 32;
+    std::vector<i64> tuples(4 * d);
+    std::vector<i64> tiles(4 * d * kBlock);
+    i64 rows[4];
+    const i64 total = c.cn.trip_count();
+    const i64 q = std::max<i64>(1, total / 4);
+    const i64 pcs[4] = {1, std::min(q + 1, total), std::min(2 * q + 1, total), total};
+    c.cn.recover4(pcs, tuples);
+    c.cn.recover_blocks4(pcs, kBlock, tiles, kBlock, rows);
+
+    const long long before = g_allocations.load();
+    for (i64 lo = 1; lo + 3 <= std::min<i64>(total, 2000); lo += 4) {
+      const i64 w[4] = {lo, lo + 1, lo + 2, lo + 3};
+      c.cn.recover4(w, tuples);
+    }
+    c.cn.recover_blocks4(pcs, kBlock, tiles, kBlock, rows);
+    const long long after = g_allocations.load();
+    EXPECT_EQ(after, before) << c.name << ": lane-batched recovery allocated";
+  }
+}
+
 TEST(NoAllocation, SearchRecoveryHotPath) {
   for (auto& c : engine_cases()) {
     i64 idx[kMaxDepth];

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <mutex>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "../test_util.hpp"
 
@@ -64,6 +67,68 @@ TEST(SimdBlocks, RejectsBadVlen) {
   auto noop = [](int, const i64* const*) {};
   EXPECT_THROW(collapsed_for_simd_blocks(cn, 0, noop), SpecError);
   EXPECT_THROW(collapsed_for_simd_blocks(cn, kMaxSimdLanes + 1, noop), SpecError);
+}
+
+TEST(SimdAbi, FillHelpersCoverTails) {
+  // Lengths around the 4-lane width exercise the vector body and the
+  // scalar tail of both fills.
+  for (i64 n : {i64{0}, i64{1}, i64{3}, i64{4}, i64{5}, i64{7}, i64{8}, i64{13}}) {
+    std::vector<i64> dst(static_cast<size_t>(n) + 4, -777);
+    simd::fill_broadcast(dst.data(), n, 42);
+    for (i64 i = 0; i < n; ++i) EXPECT_EQ(dst[static_cast<size_t>(i)], 42) << n;
+    EXPECT_EQ(dst[static_cast<size_t>(n)], -777) << n;  // no overrun
+
+    std::fill(dst.begin(), dst.end(), -777);
+    simd::fill_iota(dst.data(), n, -2);
+    for (i64 i = 0; i < n; ++i) EXPECT_EQ(dst[static_cast<size_t>(i)], -2 + i) << n;
+    EXPECT_EQ(dst[static_cast<size_t>(n)], -777) << n;
+  }
+  const std::string abi = simd::abi_name();
+  EXPECT_TRUE(abi == "avx2" || abi == "scalar") << abi;
+}
+
+TEST(SimdBlocksChunked, CoversDomainForVariousChunks) {
+  const NestSpec nest = testutil::tetrahedral_fig6();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 9}};
+  const CollapsedEval cn = col.bind(p);
+  const size_t d = static_cast<size_t>(cn.depth());
+
+  // Chunk sizes around trip_count()/4 exercise full 4-groups, partial
+  // tail groups and the single-chunk degenerate case.
+  for (i64 chunk : {i64{1}, i64{5}, i64{16}, i64{64}, cn.trip_count()}) {
+    std::mutex mu;
+    std::set<std::vector<i64>> seen;
+    i64 lanes_total = 0;
+    collapsed_for_simd_blocks_chunked(
+        cn, 8, chunk,
+        [&](int lanes, const i64* const* cols) {
+          std::lock_guard<std::mutex> lock(mu);
+          lanes_total += lanes;
+          for (int l = 0; l < lanes; ++l) {
+            std::vector<i64> t(d);
+            for (size_t k = 0; k < d; ++k) t[k] = cols[k][l];
+            seen.insert(std::move(t));
+          }
+        },
+        3);
+    EXPECT_EQ(lanes_total, cn.trip_count()) << "chunk=" << chunk;
+    EXPECT_EQ(static_cast<i64>(seen.size()), cn.trip_count()) << "chunk=" << chunk;
+  }
+}
+
+TEST(SimdBlocksChunked, FallsBackToPerThreadOnNonPositiveChunk) {
+  const CollapsedEval cn = collapse(testutil::triangular_strict()).bind({{"N", 11}});
+  i64 lanes_total = 0;
+  std::mutex mu;
+  collapsed_for_simd_blocks_chunked(
+      cn, 4, 0,
+      [&](int lanes, const i64* const*) {
+        std::lock_guard<std::mutex> lock(mu);
+        lanes_total += lanes;
+      },
+      2);
+  EXPECT_EQ(lanes_total, cn.trip_count());
 }
 
 TEST(SimdBlocks, ComputesSameSumAsSerial) {
