@@ -98,5 +98,36 @@ int main(int argc, char** argv) {
       "gain = (t_baseline - t_collapsed_chunked) / t_baseline; positive means\n"
       "the collapsed loop is faster.  Paper shape: collapsed wins clearly vs\n"
       "static; vs dynamic it wins or ties except ltmp.\n");
+
+  // JSON artifact for the perf-trajectory dashboard (bench/trajectory.py
+  // merges it next to BENCH_recovery.json so end-to-end kernel
+  // regressions surface alongside the solver microbenchmarks).
+  const std::string out_path = args.out.empty() ? "BENCH_fig9.json" : args.out;
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig9_gains\",\n  \"unit\": \"seconds\",\n"
+                 "  \"threads\": %d,\n  \"scale\": %.3f,\n  \"kernels\": [\n",
+                 args.threads, args.scale);
+    size_t i = 0;
+    for (const auto& kernel : kernels) {
+      const Row& row = rows[kernel->info().name];
+      const double gain_s = (row.t_static - row.t_collapsed) / row.t_static;
+      const double gain_d = (row.t_dynamic - row.t_collapsed) / row.t_dynamic;
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"t_static\": %.6f, \"t_dynamic\": %.6f, "
+                   "\"t_collapsed_chunked\": %.6f, \"t_collapsed_block\": %.6f, "
+                   "\"gain_vs_static\": %.4f, \"gain_vs_dynamic\": %.4f, "
+                   "\"checksum_ok\": %s}%s\n",
+                   kernel->info().name.c_str(), row.t_static, row.t_dynamic,
+                   row.t_collapsed, row.t_block, gain_s, gain_d,
+                   row.ok ? "true" : "false", ++i < kernels.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
   return bad == 0 ? 0 : 1;
 }

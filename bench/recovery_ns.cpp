@@ -24,8 +24,13 @@
 // perf trajectory.  Exit status is non-zero when the compiled engine
 // falls below the enforced 2.5x floor against the interpreter on a
 // gated nest (the target stays >= 3x; the floor leaves headroom for
-// shared-runner noise), or when the AVX2 build's simd64 path fails to
-// double block64's throughput on the cubic and quartic nests.
+// shared-runner noise), when the AVX2 build's simd64 path falls below
+// 1.2x over block64 on the cubic and quartic nests (the floor was 2x
+// against PR 2's scalar block path; PR 3 made that scalar baseline
+// itself 2-3x faster), or when
+// the guarded real-arithmetic Ferrari falls below 2.5x over the PR 2
+// quartic path (bytecode program + checked-i128 scalar guards) on the
+// quartic nests' block64 workload.
 
 #include <omp.h>
 
@@ -45,8 +50,9 @@ struct BenchNest {
   std::string name;
   NestSpec nest;
   ParamMap params;
-  bool gate = false;       ///< participates in the engine-vs-interpreter floor
-  bool gate_simd = false;  ///< participates in the simd64-vs-block64 2x check
+  bool gate = false;          ///< participates in the engine-vs-interpreter floor
+  bool gate_simd = false;     ///< participates in the simd64-vs-block64 2x check
+  bool gate_quartic = false;  ///< participates in the ferrari-vs-bytecode 2.5x check
 };
 
 std::vector<BenchNest> bench_nests() {
@@ -67,13 +73,22 @@ std::vector<BenchNest> bench_nests() {
     v.push_back({"tetrahedral", n, {{"N", 260}}, true, true});
   }
   {
-    NestSpec n;  // 4-deep simplex: quartic level -> bytecode Ferrari
+    NestSpec n;  // 4-deep simplex: quartic level -> guarded real Ferrari
     n.param("N")
         .loop("i", aff::c(0), aff::v("N"))
         .loop("j", aff::v("i"), aff::v("N"))
         .loop("k", aff::v("j"), aff::v("N"))
         .loop("l", aff::v("k"), aff::v("N"));
-    v.push_back({"simplex4", n, {{"N", 120}}, false, true});
+    v.push_back({"simplex4", n, {{"N", 120}}, false, true, true});
+  }
+  {
+    NestSpec n;  // shifted 4-deep simplex: quartic with offset coefficients
+    n.param("N")
+        .loop("i", aff::c(3), aff::v("N") + 3)
+        .loop("j", aff::v("i") - 2, aff::v("N") + 3)
+        .loop("k", aff::v("j"), aff::v("N") + 4)
+        .loop("l", aff::v("k"), aff::v("N") + 5);
+    v.push_back({"simplex4sh", n, {{"N", 110}}, false, false, true});
   }
   {
     NestSpec n;  // rectangular: degree-1 levels -> exact integer division
@@ -123,7 +138,10 @@ int main(int argc, char** argv) {
     int depth = 0;
     double interp = 0, engine = 0, block = 0, simd = 0, batch4 = 0, search = 0,
            newton = 0;
-    bool gate = false, gate_simd = false;
+    double qblock = 0;  ///< block64 through the PR 2 quartic path (bytecode
+                        ///< program + checked-i128 scalar guards); 0 when the
+                        ///< nest has no quartic level
+    bool gate = false, gate_simd = false, gate_quartic = false;
   };
   std::vector<Row> rows;
 
@@ -143,6 +161,7 @@ int main(int argc, char** argv) {
     row.depth = cn.depth();
     row.gate = bn.gate;
     row.gate_simd = bn.gate_simd;
+    row.gate_quartic = bn.gate_quartic;
 
     i64 idx[kMaxDepth];
     i64 sink = 0;
@@ -193,6 +212,25 @@ int main(int argc, char** argv) {
         sink += batch_buf[0];
       }
     });
+    // The PR 2 quartic path (RecoveryProgram bytecode + checked-i128
+    // scalar guards) on the same block64 workload: the enforced
+    // ferrari-vs-bytecode floor divides these two block64 timings.
+    bool has_quartic = false;
+    for (int k = 0; k < cn.depth(); ++k)
+      if (cn.solver_kind(k) == LevelSolverKind::Quartic) has_quartic = true;
+    if (has_quartic) {
+      CollapsedEval pr2 = cn;
+      pr2.use_bytecode_quartics();
+      pr2.set_f64_guards(false);
+      row.qblock = time_ns_per(static_cast<i64>(nprobes) * kBlock, trials, [&] {
+        for (const i64 pc : pcs) {
+          const i64 lo =
+              std::min<i64>(pc, std::max<i64>(1, pr2.trip_count() - kBlock + 1));
+          const i64 got = pr2.recover_block(lo, kBlock, {block_buf, kBlock * d});
+          sink += block_buf[static_cast<size_t>(got - 1) * d];
+        }
+      });
+    }
     row.search = time_ns_per(static_cast<i64>(nprobes), trials, [&] {
       for (const i64 pc : pcs) {
         cn.recover_search(pc, {idx, d});
@@ -213,29 +251,43 @@ int main(int argc, char** argv) {
   std::printf(
       "== recovery_ns: ns per recovered iteration (best of %d trials, simd_abi=%s) ==\n\n",
       trials, simd::abi_name());
-  std::printf("%-13s %5s %11s | %11s %11s %11s %11s %11s %11s %11s | %8s %8s\n",
+  std::printf("%-13s %5s %11s | %11s %11s %11s %11s %11s %11s %11s %11s | %8s %8s %8s\n",
               "nest", "depth", "trip", "interp[ns]", "engine[ns]", "block64", "simd64",
-              "batch4[ns]", "search[ns]", "newton[ns]", "eng-spdup", "simd-spdup");
-  bench::rule(140);
+              "batch4[ns]", "search[ns]", "newton[ns]", "qblock64", "eng-spdup",
+              "simd-spdup", "q-spdup");
+  bench::rule(160);
   bool gate_ok = true;
   bool simd_ok = true;
+  bool quartic_ok = true;
   for (const Row& r : rows) {
     const double speedup = r.interp / r.engine;
     const double simd_speedup = r.block / r.simd;
+    const double q_speedup = r.qblock > 0 ? r.qblock / r.block : 0.0;
     std::printf(
-        "%-13s %5d %11lld | %11.1f %11.1f %11.2f %11.2f %11.1f %11.1f %11.1f | %7.2fx %7.2fx\n",
+        "%-13s %5d %11lld | %11.1f %11.1f %11.2f %11.2f %11.1f %11.1f %11.1f %11.2f | "
+        "%7.2fx %7.2fx %7.2fx\n",
         r.name.c_str(), r.depth, static_cast<long long>(r.trip), r.interp, r.engine,
-        r.block, r.simd, r.batch4, r.search, r.newton, speedup, simd_speedup);
+        r.block, r.simd, r.batch4, r.search, r.newton, r.qblock, speedup, simd_speedup,
+        q_speedup);
     if (r.gate && speedup < 2.5) gate_ok = false;
-    if (r.gate_simd && avx2 && simd_speedup < 2.0) simd_ok = false;
+    // The simd64 floor was 2x against PR 2's scalar block path; PR 3's
+    // scalar engine adopted the proven-f64 guards and the Ferrari, making
+    // block64 itself 2-3x faster, so the lane path's remaining amortized
+    // advantage (it only accelerates the 4 chunk-start solves, not the
+    // row fills both paths share) is re-floored against the new baseline.
+    if (r.gate_simd && avx2 && simd_speedup < 1.2) simd_ok = false;
+    if (r.gate_quartic && q_speedup < 2.5) quartic_ok = false;
   }
-  bench::rule(140);
+  bench::rule(160);
   std::printf(
       "eng-spdup = interpreter / engine (full closed-form recovery).  block64 is\n"
       "recover_block amortized over 64 consecutive pcs — the per-iteration cost the\n"
       "scalar chunked schemes pay; simd64 is recover_blocks4 (4 lane-parallel chunk\n"
       "starts, lane-strided fills) over the same chunk size, and simd-spdup their\n"
-      "ratio.  batch4 is recover4 per recovered tuple (one formula solve per lane).\n");
+      "ratio.  batch4 is recover4 per recovered tuple (one formula solve per lane).\n"
+      "qblock64 is block64 through the PR 2 quartic path (bytecode program +\n"
+      "checked-i128 scalar guards); q-spdup = qblock64 / block64, the guarded\n"
+      "Ferrari's enforced >= 2.5x floor on the quartic nests.\n");
 
   const std::string out_path = args.out.empty() ? "BENCH_recovery.json" : args.out;
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
@@ -247,16 +299,19 @@ int main(int argc, char** argv) {
       const Row& r = rows[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"depth\": %d, \"trip_count\": %lld, "
-                   "\"gate\": %s, \"gate_simd\": %s, "
+                   "\"gate\": %s, \"gate_simd\": %s, \"gate_quartic\": %s, "
                    "\"schemes\": {\"interpreter\": %.2f, \"engine\": %.2f, "
                    "\"block64\": %.3f, \"simd64\": %.3f, \"batch4\": %.2f, "
-                   "\"search\": %.2f, \"newton\": %.2f}, "
+                   "\"search\": %.2f, \"newton\": %.2f, \"quartic_block64\": %.3f}, "
                    "\"speedup_engine_vs_interpreter\": %.3f, "
-                   "\"speedup_simd64_vs_block64\": %.3f}%s\n",
+                   "\"speedup_simd64_vs_block64\": %.3f, "
+                   "\"speedup_ferrari_vs_bytecode\": %.3f}%s\n",
                    r.name.c_str(), r.depth, static_cast<long long>(r.trip),
                    r.gate ? "true" : "false", r.gate_simd ? "true" : "false",
+                   r.gate_quartic ? "true" : "false",
                    r.interp, r.engine, r.block, r.simd, r.batch4, r.search, r.newton,
-                   r.interp / r.engine, r.block / r.simd,
+                   r.qblock, r.interp / r.engine, r.block / r.simd,
+                   r.qblock > 0 ? r.qblock / r.block : 0.0,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -273,7 +328,13 @@ int main(int argc, char** argv) {
     rc = 1;
   }
   if (!simd_ok) {
-    std::printf("FAIL: simd64 below 2x over block64 on a simd-gated nest (avx2 build)\n");
+    std::printf("FAIL: simd64 below 1.2x over block64 on a simd-gated nest (avx2 build)\n");
+    rc = 1;
+  }
+  if (!quartic_ok) {
+    std::printf(
+        "FAIL: guarded Ferrari below the enforced 2.5x floor over the PR 2 bytecode "
+        "path on a quartic nest\n");
     rc = 1;
   }
   return rc;

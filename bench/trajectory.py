@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Perf-trajectory dashboard for the recovery microbenchmark.
+"""Perf-trajectory dashboard for the recovery and kernel benchmarks.
 
-Appends the current BENCH_recovery.json to the accumulated trajectory
+Appends the current BENCH_recovery.json (and, when present, the
+end-to-end kernel suite's BENCH_fig9.json) to the accumulated trajectory
 (downloaded from the previous run's BENCH_trajectory artifact in CI)
-and renders BENCH_trajectory.{json,md}; the markdown table goes to the
+and renders BENCH_trajectory.{json,md}; the markdown tables go to the
 GitHub step summary.  This script is the dashboard, not the gate — the
 enforced floors live in bench_recovery_ns itself — so it always exits 0
 on well-formed input.
 
 Usage:
   trajectory.py --current BENCH_recovery.json \
+                [--current-fig9 BENCH_fig9.json] \
                 [--history BENCH_trajectory.json] \
                 --out-json BENCH_trajectory.json \
                 --out-md BENCH_trajectory.md \
@@ -21,9 +23,12 @@ import json
 import sys
 
 MAX_RUNS = 200          # cap the accumulated history
-MD_ROWS = 30            # rows rendered in the markdown table
+MD_ROWS = 30            # rows rendered in the markdown tables
 ENGINE_FLOOR = 2.5      # enforced engine-vs-interpreter floor
-SIMD_FLOOR = 2.0        # enforced simd64-vs-block64 floor (avx2 builds)
+SIMD_FLOOR = 1.2        # enforced simd64-vs-block64 floor (avx2 builds;
+                        # re-floored in PR 3 when the scalar block path
+                        # adopted the f64 guards and the Ferrari)
+QUARTIC_FLOOR = 2.5     # enforced ferrari-vs-bytecode floor (quartic nests)
 
 
 def load_json(path, default):
@@ -37,6 +42,7 @@ def load_json(path, default):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", required=True)
+    ap.add_argument("--current-fig9", default="")
     ap.add_argument("--history", default="")
     ap.add_argument("--out-json", required=True)
     ap.add_argument("--out-md", required=True)
@@ -68,43 +74,60 @@ def main():
             "block64": schemes.get("block64"),
             "simd64": schemes.get("simd64"),
             "batch4": schemes.get("batch4"),
+            "quartic_block64": schemes.get("quartic_block64"),
             "speedup_engine": nest.get("speedup_engine_vs_interpreter"),
             "speedup_simd": nest.get("speedup_simd64_vs_block64"),
+            "speedup_quartic": nest.get("speedup_ferrari_vs_bytecode"),
             "gate": bool(nest.get("gate", False)),
             "gate_simd": bool(nest.get("gate_simd", False)),
+            "gate_quartic": bool(nest.get("gate_quartic", False)),
         }
+
+    fig9 = load_json(args.current_fig9, None) if args.current_fig9 else None
+    if fig9 and "kernels" in fig9:
+        entry["fig9"] = {
+            k["name"]: {
+                "gain_vs_static": k.get("gain_vs_static"),
+                "gain_vs_dynamic": k.get("gain_vs_dynamic"),
+                "t_collapsed_chunked": k.get("t_collapsed_chunked"),
+                "checksum_ok": bool(k.get("checksum_ok", False)),
+            }
+            for k in fig9["kernels"]
+        }
+
     runs.append(entry)
     runs = runs[-MAX_RUNS:]
 
     with open(args.out_json, "w", encoding="utf-8") as f:
-        json.dump({"bench": "recovery_ns", "runs": runs}, f, indent=1)
+        json.dump({"bench": "recovery_ns+fig9_gains", "runs": runs}, f, indent=1)
 
-    # Markdown: one row per run, engine and simd speedups per nest.
+    def fmt(v, floor=None, suffix="x"):
+        if v is None:
+            return "—"
+        mark = ""
+        if floor is not None:
+            mark = " ✓" if v >= floor else " ✗"
+        return f"{v:.2f}{suffix}{mark}"
+
+    # Table 1: recovery solver speedups, one row per run.
     nest_names = []
     for r in runs:
         for name in r.get("nests", {}):
             if name not in nest_names:
                 nest_names.append(name)
 
-    def fmt(v, floor=None):
-        if v is None:
-            return "—"
-        mark = ""
-        if floor is not None:
-            mark = " ✓" if v >= floor else " ✗"
-        return f"{v:.2f}x{mark}"
-
     lines = [
         "## Recovery perf trajectory",
         "",
         f"ns/iteration engine speedups per run (floors: engine ≥{ENGINE_FLOOR}x "
-        f"vs interpreter, simd64 ≥{SIMD_FLOOR}x vs block64 on avx2 builds; "
-        "enforced by bench_recovery_ns).",
+        f"vs interpreter, simd64 ≥{SIMD_FLOOR}x vs block64 on avx2 builds, "
+        f"ferrari ≥{QUARTIC_FLOOR}x vs the PR 2 bytecode path on quartic "
+        "nests; enforced by bench_recovery_ns).",
         "",
         "| run | sha | abi | "
-        + " | ".join(f"{n} eng | {n} simd" for n in nest_names)
+        + " | ".join(f"{n} eng | {n} simd | {n} q4" for n in nest_names)
         + " |",
-        "|" + "---|" * (3 + 2 * len(nest_names)),
+        "|" + "---|" * (3 + 3 * len(nest_names)),
     ]
     for r in runs[-MD_ROWS:]:
         cells = [str(r.get("run", "?")), str(r.get("sha", "?")),
@@ -118,6 +141,9 @@ def main():
             simd_gated = d.get("gate_simd") and r.get("simd_abi") == "avx2"
             cells.append(fmt(d.get("speedup_simd"),
                              SIMD_FLOOR if simd_gated else None))
+            q = d.get("speedup_quartic")
+            cells.append(fmt(q if q else None,
+                             QUARTIC_FLOOR if d.get("gate_quartic") else None))
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
     latest = runs[-1]["nests"]
@@ -130,6 +156,41 @@ def main():
         )
         + "."
     )
+
+    # Table 2: end-to-end kernel gains (fig9), when any run recorded them.
+    kernel_names = []
+    for r in runs:
+        for name in r.get("fig9", {}):
+            if name not in kernel_names:
+                kernel_names.append(name)
+    if kernel_names:
+        lines += [
+            "",
+            "## Kernel suite trajectory (fig9_gains)",
+            "",
+            "gain = (t_baseline - t_collapsed_chunked) / t_baseline; "
+            "✗ marks a checksum mismatch (correctness, enforced by the "
+            "bench's exit status).",
+            "",
+            "| run | sha | "
+            + " | ".join(f"{n} vs-dyn" for n in kernel_names)
+            + " |",
+            "|" + "---|" * (2 + len(kernel_names)),
+        ]
+        for r in runs[-MD_ROWS:]:
+            if "fig9" not in r:
+                continue
+            cells = [str(r.get("run", "?")), str(r.get("sha", "?"))]
+            for n in kernel_names:
+                d = r.get("fig9", {}).get(n)
+                if d is None:
+                    cells.append("—")
+                    continue
+                g = d.get("gain_vs_dynamic")
+                mark = "" if d.get("checksum_ok", True) else " ✗"
+                cells.append(("—" if g is None else f"{100.0 * g:+.1f}%") + mark)
+            lines.append("| " + " | ".join(cells) + " |")
+
     with open(args.out_md, "w", encoding="utf-8") as f:
         f.write("\n".join(lines) + "\n")
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/real_solvers.hpp"
 #include "runtime/simd_abi.hpp"
 #include "support/error.hpp"
 #include "symbolic/print_c.hpp"
@@ -19,62 +20,14 @@ i64 floor_div_i128_to_i64(i128 a, i128 b) {
   return narrow_i64(q);
 }
 
-/// Real-arithmetic Cardano/Viete estimate for A3*t^3 + ... + A0 <= 0,
-/// shared by the scalar solver (F = long double on i128 coefficients,
-/// the historical behaviour) and the lane-batched solver (F = double on
-/// i128 or exact-double coefficients; the exact guard absorbs the
-/// precision difference).  Returns false when the formula degenerates
-/// here (A3 == 0, non-finite, or out of the index range).
-template <class F, class TA>
-bool cubic_estimate(const TA* A, int branch, i64* est) {
-  // Algebraically identical to the branch-k complex formula
-  // u*cis(k,3) - p/(3*u*cis(k,3)) - b/3 that the symbolic root encodes
-  // (only the real part is needed for the floor).  Three-real-root
-  // cubics (negative discriminant) take the Viete trigonometric form;
-  // no complex arithmetic anywhere.
-  if (A[3] == 0) return false;
-  const F a3 = static_cast<F>(A[3]);
-  const F b = static_cast<F>(A[2]) / a3;
-  const F c = static_cast<F>(A[1]) / a3;
-  const F d = static_cast<F>(A[0]) / a3;
-  const F p = c - b * b / F(3);
-  const F q = F(2) * b * b * b / F(27) - b * c / F(3) + d;
-  const F delta = q * q / F(4) + p * p * p / F(27);
-  constexpr F k2Pi3 = F(2.0943951023931954923084289221863353L);
-  F t;
-  if (delta < F(0)) {
-    // Three real roots: u = m*cis(phi/3), |u|^2 = -p/3, and the k-th
-    // root collapses to 2*m*cos((phi + 2*pi*k)/3).
-    const F m = std::sqrt(-p / F(3));
-    const F phi = std::atan2(std::sqrt(-delta), -q / F(2));
-    t = F(2) * m * std::cos((phi + k2Pi3 * static_cast<F>(branch)) / F(3));
-  } else {
-    // One real root: u is real (or pi/3-rotated for negative radicand
-    // under the principal cube root); Re of the k-th branch is
-    // (m - p/(3m)) * cos(theta) with theta a multiple of pi/3, so the
-    // cosine is a constant +-1 or +-1/2.
-    const F v = -q / F(2) + std::sqrt(delta);
-    const F m = std::cbrt(std::fabs(v));
-    static constexpr F kCosPos[3] = {F(1), F(-0.5), F(-0.5)};  // v >= 0
-    static constexpr F kCosNeg[3] = {F(0.5), F(-1), F(0.5)};   // v < 0
-    const F cosw = v < F(0) ? kCosNeg[branch] : kCosPos[branch];
-    t = (m - p / (F(3) * m)) * cosw;  // m == 0 degenerates to inf: guard
-  }
-  const F root = t - b / F(3);
-  if (!std::isfinite(root) || root < F(-9.2e18L) || root > F(9.2e18L)) return false;
-  *est = static_cast<i64>(std::floor(root + F(1e-9L)));
-  return true;
-}
-
-/// Static classification of the solver bind() will pick for a level
-/// (bind can still demote Program to Interpreted on register pressure).
+/// Static classification of the solver bind() will pick for a level.
 LevelSolverKind planned_solver(const LevelFormula& lf, int level, int depth) {
   if (level == depth - 1) return LevelSolverKind::InnermostLinear;
   if (lf.branch < 0) return LevelSolverKind::Search;
   if (lf.degree == 1) return LevelSolverKind::ExactDivision;
   if (lf.degree == 2) return LevelSolverKind::Quadratic;
   if (lf.degree == 3) return LevelSolverKind::Cubic;
-  return LevelSolverKind::Program;
+  return LevelSolverKind::Quartic;
 }
 
 /// Substitute concrete parameter values into a polynomial so the runtime
@@ -104,6 +57,8 @@ const char* level_solver_kind_name(LevelSolverKind k) {
       return "guarded-quadratic";
     case LevelSolverKind::Cubic:
       return "guarded-cubic";
+    case LevelSolverKind::Quartic:
+      return "guarded-ferrari";
     case LevelSolverKind::Program:
       return "bytecode-program";
     case LevelSolverKind::Interpreted:
@@ -182,16 +137,22 @@ std::string Collapsed::describe() const {
     }
     const LevelSolverKind kind = planned_solver(lf, k, c);
     s += "    lowered solver: " + std::string(level_solver_kind_name(kind));
-    // Quadratic and bytecode-program levels evaluate 4 pcs per SIMD lane
-    // in the batched recovery entry points (recover4 / recover_blocks4).
-    if (kind == LevelSolverKind::Quadratic || kind == LevelSolverKind::Program)
+    // Quadratic, Ferrari and bytecode-program levels evaluate 4 pcs per
+    // SIMD lane in the batched entry points (recover4 / recover_blocks4);
+    // Ferrari levels additionally demote to the bytecode program at
+    // points where the selected branch goes genuinely complex.
+    if (kind == LevelSolverKind::Quadratic || kind == LevelSolverKind::Quartic ||
+        kind == LevelSolverKind::Program)
       s += " [lane-batched x" + std::to_string(simd::kLanes) + "]";
+    if (kind == LevelSolverKind::Quartic) s += " [bytecode demotion]";
     s += "\n";
   }
   s += "runtime simd abi: " + std::string(simd::abi_name()) + " (" +
        std::to_string(simd::kLanes) +
-       " lanes; lane-strided block fills, lane-batched quadratic and "
-       "bytecode-program solvers)\n";
+       " lanes; lane-strided block fills, lane-batched quadratic, ferrari "
+       "and bytecode-program solvers)\n";
+  s += "guard policy: proven-exact f64 where the bind-time slot-magnitude "
+       "proof holds, checked-i128 fallback (all engines)\n";
   return s;
 }
 
@@ -276,9 +237,12 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
       continue;
     }
 
-    if (sv.kind == LevelSolverKind::Program) {
+    if (sv.kind == LevelSolverKind::Quartic) {
+      // The Ferrari solver's demotion target for points where the
+      // selected branch goes genuinely complex.  An uncompiled program
+      // (register pressure, folding overflow) is fine: demotion then
+      // falls through to the generic interpreter for those rare points.
       sv.program = RecoveryProgram(lf.root, im.slots, params);
-      if (!sv.program.compiled()) sv.kind = LevelSolverKind::Interpreted;
     }
   }
 
@@ -287,13 +251,14 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
   if (ev.total_ <= 0)
     throw SpecError("bind: the iteration domain is empty for these parameters");
 
-  // Prove the exact-double lane path: conservative per-slot magnitude
+  // Prove the exact-double guard path: conservative per-slot magnitude
   // bounds (every point the recovery evaluates keeps loop slots inside
   // their clamped level bounds and the pc slot inside [1, total]), then
   // enable plain-double evaluation wherever every intermediate provably
   // stays far below the 2^53 exact-integer limit of double.  Levels
-  // whose coefficients and Horner guard all pass run their lane-batched
-  // solves without any 128-bit arithmetic — bit-exact either way.
+  // whose coefficients and Horner guard all pass run their solves —
+  // scalar recover()/recover_block() and the lane-batched paths alike —
+  // without any 128-bit arithmetic, bit-exact either way.
   {
     double B[kMaxSlots] = {0.0};
     for (size_t s = 0; s < ev.nslots_; ++s)
@@ -340,10 +305,17 @@ CollapsedEval Collapsed::bind(const ParamMap& params) const {
           break;
         }
       }
-      sv.lanes_f64 = ok;
+      sv.guards_f64 = ok;
     }
   }
   return ev;
+}
+
+void CollapsedEval::use_bytecode_quartics() {
+  for (LevelSolver& sv : solvers_)
+    if (sv.kind == LevelSolverKind::Quartic)
+      sv.kind = sv.program.compiled() ? LevelSolverKind::Program
+                                      : LevelSolverKind::Interpreted;
 }
 
 i128 CollapsedEval::eval_rank(int k, const i64* pt) const {
@@ -386,9 +358,11 @@ i64 CollapsedEval::search_level(int k, std::span<i64> pt, i64 pc) const {
 /// equation.  A(t) = sum A[e] * t^e satisfies A(t) <= 0 iff
 /// rank(prefix, t) <= pc, so the boundary test is an O(degree) Horner
 /// evaluation instead of a full rank-polynomial evaluation; the solver
-/// passes the coefficient values it already evaluated.
-i64 CollapsedEval::guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
-                               const i128* A, int deg, RecoveryStats* stats) const {
+/// passes the coefficient values it already evaluated.  False when the
+/// estimate was off by more than kMaxCorrection steps.
+bool CollapsedEval::try_guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                                    const i128* A, int deg, RecoveryStats* stats,
+                                    i64* out) const {
   const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
   const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
 
@@ -411,23 +385,20 @@ i64 CollapsedEval::guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
     ++x;
     ++steps;
   }
-  if (steps >= kMaxCorrection) {
-    const i64 val = search_level(k, pt, pc);  // formula was badly off
-    if (stats) ++stats->fallback;
-    return val;
-  }
+  if (steps >= kMaxCorrection) return false;  // formula was badly off
   if (stats) ++(steps > 0 ? stats->corrected : stats->closed_form);
   pt[static_cast<size_t>(k)] = x;
-  return x;
+  *out = x;
+  return true;
 }
 
-/// guard_level with the Horner boundary test in plain double — only
-/// reached when bind() proved (LevelSolver::lanes_f64) that every
+/// try_guard_level with the Horner boundary test in plain double — only
+/// reached when bind() proved (LevelSolver::guards_f64) that every
 /// intermediate is an exact integer below 2^53, so the test decides
 /// identically to the i128 version.
-i64 CollapsedEval::guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
-                                   const double* A, int deg,
-                                   RecoveryStats* stats) const {
+bool CollapsedEval::try_guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                                        const double* A, int deg,
+                                        RecoveryStats* stats, i64* out) const {
   const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
   const i64 ub = bounds_hi_[static_cast<size_t>(k)].eval(pt.data());
 
@@ -451,14 +422,67 @@ i64 CollapsedEval::guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimat
     ++x;
     ++steps;
   }
-  if (steps >= kMaxCorrection) {
-    const i64 val = search_level(k, pt, pc);  // formula was badly off
-    if (stats) ++stats->fallback;
-    return val;
-  }
+  if (steps >= kMaxCorrection) return false;  // formula was badly off
   if (stats) ++(steps > 0 ? stats->corrected : stats->closed_form);
   pt[static_cast<size_t>(k)] = x;
-  return x;
+  *out = x;
+  return true;
+}
+
+i64 CollapsedEval::guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                               const i128* A, int deg, RecoveryStats* stats) const {
+  i64 out;
+  if (try_guard_level(k, pt, pc, estimate, A, deg, stats, &out)) return out;
+  const i64 val = search_level(k, pt, pc);
+  if (stats) ++stats->fallback;
+  return val;
+}
+
+i64 CollapsedEval::guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                                   const double* A, int deg,
+                                   RecoveryStats* stats) const {
+  i64 out;
+  if (try_guard_level_f64(k, pt, pc, estimate, A, deg, stats, &out)) return out;
+  const i64 val = search_level(k, pt, pc);
+  if (stats) ++stats->fallback;
+  return val;
+}
+
+/// Demoted-quartic path: the Ferrari estimate could not follow the
+/// selected branch (or failed its guard), so evaluate the branch through
+/// the bytecode program — complex arithmetic where the branch needs it —
+/// or, when that did not compile, the generic interpreter; the exact
+/// guard still decides.  False when no finite estimate exists or the
+/// i128 guard overflowed: the caller falls back to exact search.
+bool CollapsedEval::quartic_demote(int k, std::span<i64> pt, i64 pc, const i128* A,
+                                   const double* Ad, int deg, RecoveryStats* stats,
+                                   i64* out) const {
+  const LevelSolver& sv = solvers_[static_cast<size_t>(k)];
+  const std::span<const i64> pts(pt.data(), nslots_);
+  long double zre;
+  if (sv.program.compiled()) {
+    const RootValue z = sv.program.eval(pts);
+    if (!z.finite()) return false;
+    zre = z.re;
+  } else {
+    const CompiledExpr& ce = closed_[static_cast<size_t>(k)];
+    if (ce.empty()) return false;
+    const cld z = ce.eval(pts);
+    if (!std::isfinite(z.real()) || !std::isfinite(z.imag())) return false;
+    zre = z.real();
+  }
+  if (zre < -9.2e18L || zre > 9.2e18L) return false;
+  const i64 est = static_cast<i64>(std::floor(zre + 1e-9L));
+  if (Ad) {
+    *out = guard_level_f64(k, pt, pc, est, Ad, deg, stats);
+    return true;
+  }
+  try {
+    *out = guard_level(k, pt, pc, est, A, deg, stats);
+    return true;
+  } catch (const OverflowError&) {
+    return false;
+  }
 }
 
 i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
@@ -475,16 +499,37 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
     return val;
   }
 
+  // Exact guard coefficients: when bind() proved the exact-double path
+  // (guards_f64) they evaluate — and the guard runs — in plain double,
+  // with no 128-bit arithmetic anywhere; otherwise checked i128.  Same
+  // policy as the lane-batched engine.
+  const bool f64 = sv.guards_f64 && f64_guards_;
   try {
     i128 A[5];
-    for (int e = 0; e <= deg; ++e)
-      A[e] = sv.flat[static_cast<size_t>(e)].usable()
-                 ? sv.flat[static_cast<size_t>(e)].eval_i128(pt.data())
-                 : sv.scaled[static_cast<size_t>(e)].eval_i128(pts);
+    double Ad[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
+    if (f64) {
+      for (int e = 0; e <= deg; ++e)
+        Ad[e] = sv.flat[static_cast<size_t>(e)].eval_f64(pt.data());
+    } else {
+      for (int e = 0; e <= deg; ++e)
+        A[e] = sv.flat[static_cast<size_t>(e)].usable()
+                   ? sv.flat[static_cast<size_t>(e)].eval_i128(pt.data())
+                   : sv.scaled[static_cast<size_t>(e)].eval_i128(pts);
+    }
+    auto guard = [&](i64 est) {
+      return f64 ? guard_level_f64(k, pt, pc, est, Ad, deg, stats)
+                 : guard_level(k, pt, pc, est, A, deg, stats);
+    };
 
     switch (sv.kind) {
       case LevelSolverKind::ExactDivision: {
-        // A1 * x + A0 <= 0, A1 > 0:  x = floor(-A0 / A1), exactly.
+        // A1 * x + A0 <= 0, A1 > 0:  x = floor(-A0 / A1), exactly (the
+        // f64 coefficients are exact integers, so materializing them
+        // back into i128 keeps the division exact).
+        if (f64) {
+          A[0] = static_cast<i128>(Ad[0]);
+          A[1] = static_cast<i128>(Ad[1]);
+        }
         if (A[1] <= 0) break;  // slope violates the model here: search
         const i64 x = floor_div_i128_to_i64(-A[0], A[1]);
         const i64 lb = bounds_lo_[static_cast<size_t>(k)].eval(pt.data());
@@ -495,6 +540,15 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
         return x;
       }
       case LevelSolverKind::Quadratic: {
+        if (f64) {
+          const double disc = Ad[1] * Ad[1] - 4.0 * Ad[2] * Ad[0];
+          if (disc < 0.0 || Ad[2] == 0.0) break;  // degenerate here: search
+          const double s = std::sqrt(disc);
+          const double num = sv.branch == 1 ? -Ad[1] - s : -Ad[1] + s;
+          const double root = num / (2.0 * Ad[2]);
+          if (!index_range_finite(root)) break;
+          return guard(static_cast<i64>(std::floor(root + 1e-9)));
+        }
         const i128 disc = checked_sub(checked_mul(A[1], A[1]),
                                       checked_mul(checked_mul(4, A[2]), A[0]));
         if (disc < 0 || A[2] == 0) break;  // degenerate here: search
@@ -502,28 +556,50 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
         const long double num = sv.branch == 1 ? -static_cast<long double>(A[1]) - s
                                                : -static_cast<long double>(A[1]) + s;
         const long double root = num / (2.0L * static_cast<long double>(A[2]));
-        if (!std::isfinite(root) || root < -9.2e18L || root > 9.2e18L) break;
-        const i64 est = static_cast<i64>(std::floor(root + 1e-9L));
-        return guard_level(k, pt, pc, est, A, deg, stats);
+        if (!index_range_finite(root)) break;
+        return guard(static_cast<i64>(std::floor(root + 1e-9L)));
       }
       case LevelSolverKind::Cubic: {
         i64 est;
-        if (!cubic_estimate<long double>(A, sv.branch, &est)) break;
-        return guard_level(k, pt, pc, est, A, deg, stats);
+        const bool ok = f64 ? cubic_estimate<double>(Ad, sv.branch, &est)
+                            : cubic_estimate<long double>(A, sv.branch, &est);
+        if (!ok) break;
+        return guard(est);
+      }
+      case LevelSolverKind::Quartic: {
+        i64 est;
+        i64 out;
+        const bool ok =
+            !demote_quartics_ &&
+            (f64 ? ferrari_estimate<double>(Ad, sv.branch, &est)
+                 : ferrari_estimate<long double>(A, sv.branch, &est));
+        if (ok) {
+          const bool done = f64
+                                ? try_guard_level_f64(k, pt, pc, est, Ad, deg, stats, &out)
+                                : try_guard_level(k, pt, pc, est, A, deg, stats, &out);
+          if (done) return out;
+        }
+        // Real arithmetic could not follow the branch (complex resolvent
+        // root, w == 0 degeneration) or the estimate was badly off:
+        // demote this point to the bytecode program, guard included.
+        if (quartic_demote(k, pt, pc, f64 ? nullptr : A, f64 ? Ad : nullptr, deg,
+                           stats, &out)) {
+          if (stats) ++stats->quartic_demoted;
+          return out;
+        }
+        break;  // no finite estimate anywhere: search
       }
       case LevelSolverKind::Program: {
         const RootValue z = sv.program.eval(pts);
         if (!z.finite() || z.re < -9.2e18L || z.re > 9.2e18L) break;
-        const i64 est = static_cast<i64>(std::floor(z.re + 1e-9L));
-        return guard_level(k, pt, pc, est, A, deg, stats);
+        return guard(static_cast<i64>(std::floor(z.re + 1e-9L)));
       }
       case LevelSolverKind::Interpreted: {
         const cld z = closed_[static_cast<size_t>(k)].eval(pts);
         if (!std::isfinite(z.real()) || !std::isfinite(z.imag()) ||
             z.real() < -9.2e18L || z.real() > 9.2e18L)
           break;
-        const i64 est = static_cast<i64>(std::floor(z.real() + 1e-9L));
-        return guard_level(k, pt, pc, est, A, deg, stats);
+        return guard(static_cast<i64>(std::floor(z.real() + 1e-9L)));
       }
       default:
         break;
@@ -540,17 +616,17 @@ i64 CollapsedEval::solve_level(int k, std::span<i64> pt, i64 pc,
 /// Innermost index is linear with unit slope: i = lb + (pc - R(prefix, lb)).
 /// `flat`, when usable, short-circuits the generic rank evaluation (the
 /// engine paths pass the bound flat form; the seed interpreter passes
-/// nullptr so it keeps measuring the seed cost).  The lane-batched
-/// entry points set `lane_f64`, taking the proven-exact double stream
-/// when bind() established it.
+/// nullptr so it keeps measuring the seed cost).  The engine entry
+/// points (scalar and lane-batched alike) set `use_f64`, taking the
+/// proven-exact double stream when bind() established it.
 void CollapsedEval::recover_innermost(std::span<i64> pt, std::span<i64> idx, i64 pc,
                                       const CompiledPoly& inner_rank,
-                                      const FlatPoly* flat, bool lane_f64) const {
+                                      const FlatPoly* flat, bool use_f64) const {
   const int kl = c_ - 1;
   const i64 lb = bounds_lo_[static_cast<size_t>(kl)].eval(pt.data());
   pt[static_cast<size_t>(kl)] = lb;
   i64 r0;
-  if (flat && lane_f64 && flat->exact_f64()) {
+  if (flat && use_f64 && flat->exact_f64()) {
     r0 = static_cast<i64>(flat->eval_f64(pt.data()));
   } else {
     r0 = narrow_i64(
@@ -569,7 +645,7 @@ void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) co
   for (int k = 0; k + 1 < c_; ++k)
     idx[static_cast<size_t>(k)] = solve_level(k, pts, pc, stats);
   recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1],
-                    &prank_flat_[static_cast<size_t>(c_) - 1]);
+                    &prank_flat_[static_cast<size_t>(c_) - 1], f64_guards_);
 }
 
 void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
@@ -592,12 +668,12 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
 
   // Exact guard coefficients per lane (needed by the guard regardless of
   // how the estimate is produced).  When bind() proved the exact-double
-  // path (lanes_f64), all four lanes evaluate each coefficient in one
+  // path (guards_f64), all four lanes evaluate each coefficient in one
   // vectorizable multiply-add sweep with no 128-bit arithmetic;
   // otherwise checked i128, where a lane whose exact arithmetic leaves
   // the checked range drops to the scalar solver — astronomically rare,
   // still exact.
-  const bool f64 = sv.lanes_f64;
+  const bool f64 = sv.guards_f64 && f64_guards_;
   double Ad[4][5] = {};  // filled (and read) only on the f64 path
   i128 A[4][5];
   bool lane_ok[4] = {true, true, true, true};
@@ -718,6 +794,23 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
       }
       break;
     }
+    case LevelSolverKind::Quartic: {
+      // Guarded real-arithmetic Ferrari: on the proven-f64 path all four
+      // lanes run the vectorized estimate (only the resolvent's Cardano
+      // trig is per lane); otherwise per-lane double on the exact i128
+      // coefficients.  Lanes the real path cannot follow (est_ok false)
+      // demote to the bytecode program in the finish loop below.
+      if (demote_quartics_) break;  // test hook: force the demotion path
+      if (f64) {
+        ferrari_estimate4(&Ad[0][0], 5, sv.branch, est, est_ok);
+      } else {
+        for (int l = 0; l < 4; ++l) {
+          if (!lane_ok[l]) continue;
+          est_ok[l] = ferrari_estimate<double>(A[l], sv.branch, &est[l]);
+        }
+      }
+      break;
+    }
     case LevelSolverKind::Program: {
       // The bytecode program evaluates all four lanes in one pass.
       RootValue z[4];
@@ -747,8 +840,16 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
       break;
   }
 
+  const bool quartic = sv.kind == LevelSolverKind::Quartic;
   for (int l = 0; l < 4; ++l) {
-    if (lane_ok[l] && est_ok[l]) {
+    if (!lane_ok[l]) {
+      solve_level(k, lane_pt(l), pcs[l], stats);
+      continue;
+    }
+    i64 out;
+    bool guard_overflowed = false;
+    if (est_ok[l] && !quartic) {
+      // Non-quartic kinds: the guard's built-in search fallback decides.
       if (f64) {
         guard_level_f64(k, lane_pt(l), pcs[l], est[l], Ad[l], deg, stats);
         continue;
@@ -758,15 +859,35 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
         continue;
       } catch (const OverflowError&) {
         // Horner guard left the checked range: exact search below.
+        guard_overflowed = true;
       }
-      search_level(k, lane_pt(l), pcs[l]);
-      if (stats) ++stats->fallback;
-    } else if (lane_ok[l]) {
-      search_level(k, lane_pt(l), pcs[l]);
-      if (stats) ++stats->fallback;
-    } else {
-      solve_level(k, lane_pt(l), pcs[l], stats);
+    } else if (est_ok[l]) {
+      // Quartic: a failed guard demotes to bytecode instead of searching.
+      if (f64) {
+        if (try_guard_level_f64(k, lane_pt(l), pcs[l], est[l], Ad[l], deg, stats,
+                                &out))
+          continue;
+      } else {
+        try {
+          if (try_guard_level(k, lane_pt(l), pcs[l], est[l], A[l], deg, stats, &out))
+            continue;
+        } catch (const OverflowError&) {
+          guard_overflowed = true;
+        }
+      }
     }
+    if (quartic && !guard_overflowed) {
+      // Ferrari could not follow the branch on this lane (or its
+      // estimate failed the guard): demote the lane to the bytecode
+      // program, exactly like the scalar solver.
+      if (quartic_demote(k, lane_pt(l), pcs[l], f64 ? nullptr : A[l],
+                         f64 ? Ad[l] : nullptr, deg, stats, &out)) {
+        if (stats) ++stats->quartic_demoted;
+        continue;
+      }
+    }
+    search_level(k, lane_pt(l), pcs[l]);
+    if (stats) ++stats->fallback;
   }
 }
 
@@ -790,7 +911,7 @@ void CollapsedEval::recover4(const i64 pcs[4], std::span<i64> out,
     std::span<i64> row = out.subspan(static_cast<size_t>(l) * d, d);
     for (int k = 0; k + 1 < c_; ++k) row[static_cast<size_t>(k)] = pts[l][k];
     recover_innermost(pt, row, pcs[l], prank_[d - 1], &prank_flat_[d - 1],
-                      /*lane_f64=*/true);
+                      f64_guards_);
   }
 }
 
@@ -950,7 +1071,7 @@ bool CollapsedEval::recover_closed_raw(i64 pc, std::span<i64> idx) const {
   }
   std::span<i64> pts(pt.data(), nslots_);
   recover_innermost(pts, idx, pc, prank_[static_cast<size_t>(c_) - 1],
-                    &prank_flat_[static_cast<size_t>(c_) - 1]);
+                    &prank_flat_[static_cast<size_t>(c_) - 1], f64_guards_);
   return true;
 }
 

@@ -20,9 +20,12 @@
 //   * degree-1 levels solve by one exact integer floor-division,
 //   * degree-2 levels by the guarded quadratic formula on exactly
 //     evaluated integer coefficients,
-//   * degree-3/4 levels by a RecoveryProgram — flat real-valued bytecode
-//     with the parameters constant-folded in (complex instructions only
-//     where a Cardano/Ferrari branch needs them),
+//   * degree-3 levels by the guarded real-arithmetic Cardano/Viete,
+//   * degree-4 levels by the guarded real-arithmetic Ferrari (resolvent
+//     through the same Cardano path); points where the selected branch
+//     goes genuinely complex demote to the RecoveryProgram bytecode —
+//     flat real-valued instructions with the parameters constant-folded
+//     in (complex forms only where a Cardano/Ferrari branch needs them),
 //   * levels without a usable formula by exact binary search.
 // Every floating-point estimate is corrected against the exact integer
 // level equation, so recover() never returns a wrong tuple.
@@ -100,11 +103,20 @@ struct RecoveryStats {
   i64 closed_form = 0;  ///< levels recovered by the closed form directly
   i64 corrected = 0;    ///< levels where the integer guard moved the index
   i64 fallback = 0;     ///< levels recovered by exact binary search
+  /// Quartic levels whose real-arithmetic Ferrari estimate degenerated
+  /// (or failed the guard) and that were then *successfully* solved
+  /// through the bytecode demotion path (a demotion that also finds no
+  /// finite estimate falls to search and counts only in fallback).  Not
+  /// a level outcome of its own (the demoted solve still lands in one
+  /// of the three counters above), so it does not participate in
+  /// levels().
+  i64 quartic_demoted = 0;
   i64 levels() const { return closed_form + corrected + fallback; }
   RecoveryStats& operator+=(const RecoveryStats& o) {
     closed_form += o.closed_form;
     corrected += o.corrected;
     fallback += o.fallback;
+    quartic_demoted += o.quartic_demoted;
     return *this;
   }
 };
@@ -115,7 +127,10 @@ enum class LevelSolverKind {
   ExactDivision,    ///< degree 1: one exact integer floor-division
   Quadratic,        ///< degree 2: guarded quadratic formula
   Cubic,            ///< degree 3: guarded real-arithmetic Cardano/Viete
-  Program,          ///< degree 4: RecoveryProgram bytecode
+  Quartic,          ///< degree 4: guarded real-arithmetic Ferrari
+                    ///< (bytecode demotion where the branch goes complex)
+  Program,          ///< RecoveryProgram bytecode (ablation hook; the
+                    ///< pre-Ferrari quartic lowering)
   Interpreted,      ///< bytecode lowering unavailable: generic interpreter
                     ///< (the one lowering that still heap-allocates)
   Search,           ///< no usable formula: exact binary search
@@ -137,6 +152,36 @@ class CollapsedEval {
   LevelSolverKind solver_kind(int level) const {
     return solvers_[static_cast<size_t>(level)].kind;
   }
+
+  /// Unified guard policy toggle.  bind() proves, per level and for the
+  /// rank prefixes, whether every guard/coefficient intermediate stays
+  /// an exact integer below 2^53 for points of this domain; proven
+  /// levels evaluate coefficients and run the Horner correction guard in
+  /// plain double — bit-identical to the checked-__int128 reference, in
+  /// every engine (scalar recover()/recover_block() included since
+  /// PR 3).  set_f64_guards(false) forces the i128 reference path
+  /// everywhere (tests / ablation); levels that fail the proof use it
+  /// regardless.
+  void set_f64_guards(bool on) { f64_guards_ = on; }
+  bool f64_guards() const { return f64_guards_; }
+
+  /// True when bind() proved the exact-double guard path for `level`.
+  bool guards_provably_f64(int level) const {
+    return solvers_[static_cast<size_t>(level)].guards_f64;
+  }
+
+  /// Ablation/bench hook: lower quartic levels back onto the generic
+  /// RecoveryProgram bytecode (the pre-Ferrari engine) instead of the
+  /// guarded real-arithmetic Ferrari solver.  Results stay bit-identical
+  /// (both sit behind the exact guard); only the cost changes.  Levels
+  /// whose bytecode failed to compile fall to the generic interpreter.
+  void use_bytecode_quartics();
+
+  /// Test/ablation hook: treat every quartic point as if the Ferrari
+  /// estimate had degenerated, exercising the per-point demotion path —
+  /// bytecode estimate plus exact guard, RecoveryStats::quartic_demoted
+  /// counting each demotion.  Results stay identical.
+  void force_quartic_demotion() { demote_quartics_ = true; }
 
   /// Exact 1-based rank of an iteration tuple.
   i64 rank(std::span<const i64> idx) const;
@@ -293,22 +338,37 @@ class CollapsedEval {
                                        ///< parameters pre-folded
     std::array<FlatPoly, 5> flat{};    ///< flat multiply-add forms of the
                                        ///< low-degree A_e (else unusable)
-    bool lanes_f64 = false;            ///< lane path may run coefficients and
-                                       ///< guard in proven-exact double
+    bool guards_f64 = false;           ///< coefficients and guard may run in
+                                       ///< proven-exact double (all engines)
     int branch = 0;                    ///< selected convenient branch
-    RecoveryProgram program;           ///< Program levels
+    RecoveryProgram program;           ///< Program levels; Quartic demotion target
   };
 
   i64 search_level(int k, std::span<i64> pt, i64 pc) const;
   i64 solve_level(int k, std::span<i64> pt, i64 pc, RecoveryStats* stats) const;
   void solve_level4(int k, i64* pts, const i64* pcs, RecoveryStats* stats) const;
+  /// Correct `estimate` against the exact level equation; false when the
+  /// estimate was off by more than kMaxCorrection (no stats recorded,
+  /// pt[k] unspecified) — the caller demotes or searches.
+  bool try_guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                       const i128* A, int deg, RecoveryStats* stats, i64* out) const;
+  bool try_guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
+                           const double* A, int deg, RecoveryStats* stats,
+                           i64* out) const;
   i64 guard_level(int k, std::span<i64> pt, i64 pc, i64 estimate,
                   const i128* A, int deg, RecoveryStats* stats) const;
   i64 guard_level_f64(int k, std::span<i64> pt, i64 pc, i64 estimate,
                       const double* A, int deg, RecoveryStats* stats) const;
+  /// Demoted-quartic path: bytecode (or, uncompiled, interpreter)
+  /// estimate plus the exact guard; exactly one of A / Ad is non-null
+  /// and selects the guard arithmetic.  False when no finite estimate
+  /// exists or the exact guard overflowed — the caller searches.
+  bool quartic_demote(int k, std::span<i64> pt, i64 pc, const i128* A,
+                      const double* Ad, int deg, RecoveryStats* stats,
+                      i64* out) const;
   void recover_innermost(std::span<i64> pt, std::span<i64> idx, i64 pc,
                          const CompiledPoly& inner_rank, const FlatPoly* flat,
-                         bool lane_f64 = false) const;
+                         bool use_f64 = false) const;
   /// Exact rank-prefix evaluation through the flat form when available.
   i128 eval_rank(int k, const i64* pt) const;
   /// Row-walk from a recovered tuple, filling lane-strided columns.
@@ -326,6 +386,8 @@ class CollapsedEval {
   std::vector<CompiledPoly> prank_interp_; // per level, unfolded (seed baseline)
   std::vector<CompiledExpr> closed_;   // per level; may be empty (interpreter)
   std::vector<LevelSolver> solvers_;   // per level
+  bool f64_guards_ = true;             // see set_f64_guards()
+  bool demote_quartics_ = false;       // see force_quartic_demotion()
   static constexpr int kMaxCorrection = 16;
 };
 

@@ -70,6 +70,13 @@ inline vf64 sqrt(vf64 a) { return {_mm256_sqrt_pd(a.v)}; }
 inline vf64 neg(vf64 a) { return {_mm256_sub_pd(_mm256_setzero_pd(), a.v)}; }
 inline vf64 floor(vf64 a) { return {_mm256_floor_pd(a.v)}; }
 inline void store(double* p, vf64 a) { _mm256_storeu_pd(p, a.v); }
+/// Lane mask a >= b (ordered: NaN lanes compare false).  Only meaningful
+/// as the first argument of select().
+inline vf64 cmp_ge(vf64 a, vf64 b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)}; }
+/// Per lane: mask ? a : b.
+inline vf64 select(vf64 mask, vf64 a, vf64 b) {
+  return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+}
 
 #else
 
@@ -112,6 +119,19 @@ inline vf64 floor(vf64 a) {
 }
 inline void store(double* p, vf64 a) {
   for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+/// Lane mask a >= b (ordered: NaN lanes compare false).  Only meaningful
+/// as the first argument of select().
+inline vf64 cmp_ge(vf64 a, vf64 b) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] >= b.v[l] ? 1.0 : 0.0;
+  return r;
+}
+/// Per lane: mask ? a : b.
+inline vf64 select(vf64 mask, vf64 a, vf64 b) {
+  vf64 r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = mask.v[l] != 0.0 ? a.v[l] : b.v[l];
+  return r;
 }
 
 #endif

@@ -4,6 +4,7 @@
 #include <complex>
 #include <map>
 
+#include "core/real_solvers.hpp"
 #include "math/roots.hpp"
 #include "runtime/simd_abi.hpp"
 #include "support/error.hpp"
@@ -28,6 +29,82 @@ bool needs_complex(const ExprPtr& n) {
 }  // namespace
 
 bool RootValue::finite() const { return std::isfinite(re) && std::isfinite(im); }
+
+void ferrari_estimate4(const double* A, size_t stride, int branch, i64 est[4],
+                       bool est_ok[4]) {
+  using simd::vf64;
+  const vf64 zero = simd::set1(0.0);
+  const vf64 half = simd::set1(0.5);
+  auto col = [&](int e) {
+    return simd::set(A[static_cast<size_t>(e)], A[stride + static_cast<size_t>(e)],
+                     A[2 * stride + static_cast<size_t>(e)],
+                     A[3 * stride + static_cast<size_t>(e)]);
+  };
+  const vf64 a4 = col(4);
+  const vf64 b = simd::div(col(3), a4);
+  const vf64 c = simd::div(col(2), a4);
+  const vf64 d = simd::div(col(1), a4);
+  const vf64 e = simd::div(col(0), a4);
+
+  // Depressed quartic y^4 + p y^2 + q y + r (x = y - b/4).
+  const vf64 b2 = simd::mul(b, b);
+  const vf64 p = simd::sub(c, simd::mul(simd::set1(3.0 / 8.0), b2));
+  const vf64 q = simd::add(simd::sub(d, simd::mul(half, simd::mul(b, c))),
+                           simd::mul(simd::set1(1.0 / 8.0), simd::mul(b2, b)));
+  const vf64 r = simd::sub(
+      simd::add(simd::sub(e, simd::mul(simd::set1(0.25), simd::mul(b, d))),
+                simd::mul(simd::set1(1.0 / 16.0), simd::mul(b2, c))),
+      simd::mul(simd::set1(3.0 / 256.0), simd::mul(b2, b2)));
+
+  const int rb = branch / 4;  // resolvent Cardano branch, 0..2
+  const int qb = branch % 4;  // quadratic-factor branch, 0..3
+
+  // Resolvent cubic w^3 + 2p w^2 + (p^2 - 4r) w - q^2 = 0 (monic): the
+  // Viete/Cardano case analysis is branchy trig, evaluated per lane.
+  const vf64 rB2 = simd::mul(simd::set1(2.0), p);
+  const vf64 rB1 = simd::sub(simd::mul(p, p), simd::mul(simd::set1(4.0), r));
+  const vf64 rB0 = simd::neg(simd::mul(q, q));
+  double wre[4], wim[4];
+  for (int l = 0; l < 4; ++l) {
+    const CardanoBranch<double> w = cardano_branch<double>(
+        simd::lane(rB2, l), simd::lane(rB1, l), simd::lane(rB0, l), rb);
+    wre[l] = w.re;
+    wim[l] = w.im;
+  }
+  const vf64 wr = simd::set(wre[0], wre[1], wre[2], wre[3]);
+  const vf64 wi = simd::set(wim[0], wim[1], wim[2], wim[3]);
+
+  // Quadratic-factor stage on the explicit (re, im) pair — see
+  // ferrari_estimate for the derivation.  alpha = csqrt(w), principal:
+  // the Im sign carries sign(Im w), applied with a mask blend.
+  const vf64 aw = simd::sqrt(simd::add(simd::mul(wr, wr), simd::mul(wi, wi)));
+  const vf64 ar = simd::sqrt(simd::mul(half, simd::add(aw, wr)));
+  const vf64 ai0 = simd::sqrt(simd::mul(half, simd::sub(aw, wr)));
+  const vf64 ai = simd::select(simd::cmp_ge(wi, zero), ai0, simd::neg(ai0));
+  // q / alpha = q * conj(alpha) / |w|  (w == 0 lanes degenerate to NaN).
+  const vf64 qoaw = simd::div(q, aw);
+  const vf64 qar = simd::mul(qoaw, ar);
+  const vf64 qai = simd::neg(simd::mul(qoaw, ai));
+  // D = alpha^2 - 4*{beta,gamma} = w - 2*(p + w +- q/alpha).
+  const vf64 sqar = qb < 2 ? simd::neg(qar) : qar;
+  const vf64 sqai = qb < 2 ? simd::neg(qai) : qai;
+  const vf64 Dr =
+      simd::sub(wr, simd::mul(simd::set1(2.0), simd::add(simd::add(p, wr), sqar)));
+  const vf64 Di = simd::neg(simd::add(wi, simd::mul(simd::set1(2.0), sqai)));
+  const vf64 ad = simd::sqrt(simd::add(simd::mul(Dr, Dr), simd::mul(Di, Di)));
+  const vf64 sr = simd::sqrt(simd::mul(half, simd::add(ad, Dr)));  // Re(csqrt(D))
+  const vf64 sa = qb < 2 ? simd::neg(ar) : ar;
+  const vf64 y =
+      simd::mul(half, (qb & 1) ? simd::sub(sa, sr) : simd::add(sa, sr));
+
+  const vf64 root = simd::sub(y, simd::mul(simd::set1(0.25), b));
+  const vf64 flo = simd::floor(simd::add(root, simd::set1(1e-9)));
+  for (int l = 0; l < 4; ++l) {
+    const double rl = simd::lane(root, l);
+    est_ok[l] = simd::lane(a4, l) != 0.0 && index_range_finite(rl);
+    est[l] = est_ok[l] ? static_cast<i64>(simd::lane(flo, l)) : 0;
+  }
+}
 
 /// Lowering context: walks the Expr DAG once, folding constants (with the
 /// bound parameters substituted into every polynomial leaf) and memoizing

@@ -46,6 +46,21 @@ struct RootValue {
   bool finite() const;
 };
 
+/// Lane-batched guarded real-arithmetic Ferrari estimates: four quartic
+/// level equations solved at once (the eval4-style counterpart of
+/// ferrari_estimate in core/real_solvers.hpp).  Lane l's coefficients
+/// A0..A4 live at A + l*stride, low to high.  The depression, the
+/// resolvent-cubic coefficients and the quadratic-factor stage (both of
+/// its complex shapes, blended by sign masks) run as 4-wide simd_abi
+/// vectors; only the branchy Cardano trig of the resolvent runs per
+/// lane.  est_ok[l] is false where the real-arithmetic path cannot
+/// follow the branch (complex resolvent root, degenerate divisions,
+/// non-finite) — the caller demotes those lanes to the bytecode
+/// program.  Estimates sit behind the exact integer guard, so double
+/// precision suffices.  Allocation-free.
+void ferrari_estimate4(const double* A, size_t stride, int branch, i64 est[4],
+                       bool est_ok[4]);
+
 class RecoveryProgram {
  public:
   RecoveryProgram() = default;

@@ -1,0 +1,261 @@
+// Randomized differential nest fuzzer: seeded random nests (triangular,
+// tiled, skewed, degenerate — see testutil::make_fuzz_nest) are collapsed
+// and bound over a sweep of parameter values, and every recovery path the
+// engine exposes is cross-checked against the all-integer binary-search
+// oracle on each domain:
+//
+//   recover            — degree-specialized guarded solvers (Ferrari
+//                        included) with the proven-f64 guard policy,
+//   recover   [i128]   — the same engine with set_f64_guards(false),
+//                        byte-identical by the exactness proof,
+//   recover4           — lane-batched solves,
+//   recover_block(s4)  — row-walking and lane-strided batched recovery,
+//   recover_interpreted— the seed-era complex interpreter,
+//
+// plus rank() round trips.  Domains expected empty must be rejected by
+// collapse()/bind().
+//
+// Slices: the fast deterministic slice (a few hundred domains per class)
+// runs under the plain tier1 ctest label; the long randomized slice
+// (NRC_FUZZ_DOMAINS per class, default 10000 — the CI push-to-main
+// sanitize leg runs it under ASan/UBSan) is the separate
+// nrc_differential_fuzz_long ctest entry (labels tier1;long).
+//
+// Reproducing a failure: every assertion prefixes its message with
+// "class=<name> seed=<decimal>".  Rerun exactly that case with
+//   NRC_FUZZ_CLASS=<name> NRC_FUZZ_SEED=<decimal> \
+//     ./nrc_differential_fuzz_test --gtest_filter=DifferentialFuzz.Repro
+// and shrink by editing the seed's generated nest printed in the message.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../test_util.hpp"
+
+namespace nrc {
+namespace {
+
+using testutil::FuzzClass;
+using testutil::FuzzNest;
+
+i64 env_i64(const char* name, i64 fallback) {
+  const char* e = std::getenv(name);
+  return e && *e ? std::atoll(e) : fallback;
+}
+
+/// Aggregate visibility into what a fuzz run actually exercised.
+struct FuzzTally {
+  i64 domains = 0;
+  i64 rejected_empty = 0;
+  i64 quartic_domains = 0;
+  i64 search_levels = 0;  // Search/overflow-demoted level solves
+  RecoveryStats stats;
+};
+
+/// Cross-check every recovery path over one bound domain.
+void check_domain(const CollapsedEval& cn, const std::string& repro, FuzzTally* tally) {
+  const i64 total = cn.trip_count();
+  const size_t d = static_cast<size_t>(cn.depth());
+  ASSERT_GE(total, 1) << repro;
+
+  CollapsedEval ref_guards = cn;
+  ref_guards.set_f64_guards(false);
+
+  for (int k = 0; k < cn.depth(); ++k) {
+    if (cn.solver_kind(k) == LevelSolverKind::Quartic) {
+      ++tally->quartic_domains;
+      break;
+    }
+  }
+
+  // The full domain when small; otherwise a stride that still lands on
+  // both ends (the generator keeps most domains small enough for full
+  // sweeps, so sampling only kicks in for the widest cases).
+  const i64 step = total <= 400 ? 1 : total / 256;
+
+  std::vector<i64> eng(d), other(d), ref(d);
+  for (i64 pc = 1; pc <= total; pc += step) {
+    cn.recover_search(pc, ref);
+    cn.recover(pc, eng, &tally->stats);
+    ASSERT_EQ(eng, ref) << repro << "recover disagrees with search at pc=" << pc;
+    cn.recover_interpreted(pc, other);
+    ASSERT_EQ(other, ref) << repro << "recover_interpreted disagrees at pc=" << pc;
+    ref_guards.recover(pc, other);
+    ASSERT_EQ(other, ref) << repro << "recover with i128 guards disagrees at pc=" << pc;
+    ASSERT_EQ(cn.rank(ref), pc) << repro << "rank round trip failed at pc=" << pc;
+  }
+  {
+    // Last tuple exactly (the strided loop may miss it).
+    cn.recover_search(total, ref);
+    cn.recover(total, eng, &tally->stats);
+    ASSERT_EQ(eng, ref) << repro << "recover disagrees at pc=trip_count";
+  }
+
+  // recover4: sliding (clamped) windows of 4 pcs.
+  std::vector<i64> out4(4 * d);
+  for (i64 lo = 1; lo <= total; lo += 4 * step) {
+    const i64 base = std::min<i64>(lo, std::max<i64>(1, total - 3));
+    const i64 pcs[4] = {base, std::min(base + 1, total), std::min(base + 2, total),
+                        std::min(base + 3, total)};
+    cn.recover4(pcs, out4, &tally->stats);
+    for (int l = 0; l < 4; ++l) {
+      cn.recover_search(pcs[l], ref);
+      for (size_t q = 0; q < d; ++q)
+        ASSERT_EQ(out4[static_cast<size_t>(l) * d + q], ref[q])
+            << repro << "recover4 lane " << l << " disagrees at pc=" << pcs[l];
+    }
+  }
+
+  // recover_block (row-major) and recover_blocks4 (lane-strided tiles).
+  constexpr i64 kB = 5;
+  std::vector<i64> blk(kB * d);
+  std::vector<i64> tiles(4 * kB * d);
+  i64 rows[4];
+  for (i64 lo = 1; lo <= total; lo += 4 * kB * step) {
+    const i64 got = cn.recover_block(lo, kB, blk, &tally->stats);
+    ASSERT_EQ(got, std::min<i64>(kB, total - lo + 1)) << repro << "recover_block rows";
+    for (i64 r = 0; r < got; ++r) {
+      cn.recover_search(lo + r, ref);
+      for (size_t q = 0; q < d; ++q)
+        ASSERT_EQ(blk[static_cast<size_t>(r) * d + q], ref[q])
+            << repro << "recover_block disagrees at pc=" << lo + r;
+    }
+    const i64 pcs[4] = {lo, std::min(lo + kB, total), std::min(lo + 2 * kB, total),
+                        std::min(lo + 3 * kB, total)};
+    cn.recover_blocks4(pcs, kB, tiles, kB, rows, &tally->stats);
+    for (int b = 0; b < 4; ++b) {
+      ASSERT_EQ(rows[b], std::min<i64>(kB, total - pcs[b] + 1))
+          << repro << "recover_blocks4 rows, block " << b;
+      for (i64 r = 0; r < rows[b]; ++r) {
+        cn.recover_search(pcs[b] + r, ref);
+        for (size_t q = 0; q < d; ++q)
+          ASSERT_EQ(tiles[(static_cast<size_t>(b) * d + q) * kB + static_cast<size_t>(r)],
+                    ref[q])
+              << repro << "recover_blocks4 disagrees at pc=" << pcs[b] + r;
+      }
+    }
+  }
+}
+
+/// Run one seeded case end to end (shared by the sweeps and the
+/// env-driven Repro test).
+void run_case(const FuzzNest& fc, FuzzTally* tally) {
+  CollapseOptions opts;
+  opts.calibration = fc.calibration;
+  if (fc.expect_empty) {
+    bool rejected = false;
+    try {
+      ParamMap p = fc.fixed_params;
+      p["N"] = 2;
+      collapse(fc.nest, opts).bind(p);
+    } catch (const SpecError&) {
+      rejected = true;
+    } catch (const SolveError&) {
+      rejected = true;
+    }
+    ASSERT_TRUE(rejected) << fc.repro() << "empty domain was not rejected";
+    ++tally->domains;
+    ++tally->rejected_empty;
+    return;
+  }
+  try {
+    const Collapsed col = collapse(fc.nest, opts);
+    for (const i64 nv : testutil::fuzz_bind_values(fc)) {
+      ParamMap p = fc.fixed_params;
+      p["N"] = nv;
+      const CollapsedEval cn = col.bind(p);
+      check_domain(cn, fc.repro() + "\nN=" + std::to_string(nv) + "\n", tally);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++tally->domains;
+    }
+  } catch (const std::exception& ex) {
+    FAIL() << fc.repro() << "unexpected exception: " << ex.what();
+  }
+}
+
+void run_fuzz(FuzzClass cls, i64 domains_target, u64 seed_base) {
+  FuzzTally tally;
+  u64 seed = seed_base;
+  while (tally.domains < domains_target) {
+    run_case(testutil::make_fuzz_nest(cls, seed++), &tally);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  tally.search_levels = tally.stats.fallback;
+  std::printf(
+      "[fuzz %-10s] domains=%lld (empty=%lld, quartic=%lld) levels: closed=%lld "
+      "corrected=%lld search=%lld quartic_demoted=%lld\n",
+      testutil::fuzz_class_name(cls), static_cast<long long>(tally.domains),
+      static_cast<long long>(tally.rejected_empty),
+      static_cast<long long>(tally.quartic_domains),
+      static_cast<long long>(tally.stats.closed_form),
+      static_cast<long long>(tally.stats.corrected),
+      static_cast<long long>(tally.stats.fallback),
+      static_cast<long long>(tally.stats.quartic_demoted));
+  // The sweep must actually exercise the engine, not degenerate into
+  // vacuous domains: every class recovers through closed forms somewhere.
+  EXPECT_GT(tally.stats.closed_form, 0);
+}
+
+// ------------------------------------------------- fast deterministic slice
+
+TEST(DifferentialFuzz, Triangular) {
+  run_fuzz(FuzzClass::Triangular, env_i64("NRC_FUZZ_FAST_DOMAINS", 120), 0x7100);
+}
+TEST(DifferentialFuzz, Tiled) {
+  run_fuzz(FuzzClass::Tiled, env_i64("NRC_FUZZ_FAST_DOMAINS", 120), 0x7200);
+}
+TEST(DifferentialFuzz, Skewed) {
+  run_fuzz(FuzzClass::Skewed, env_i64("NRC_FUZZ_FAST_DOMAINS", 120), 0x7300);
+}
+TEST(DifferentialFuzz, Degenerate) {
+  run_fuzz(FuzzClass::Degenerate, env_i64("NRC_FUZZ_FAST_DOMAINS", 120), 0x7400);
+}
+
+/// Rerun a single seed from a failure message:
+///   NRC_FUZZ_CLASS=<name> NRC_FUZZ_SEED=<decimal> \
+///     ./nrc_differential_fuzz_test --gtest_filter=DifferentialFuzz.Repro
+TEST(DifferentialFuzz, Repro) {
+  const char* cls_s = std::getenv("NRC_FUZZ_CLASS");
+  const char* seed_s = std::getenv("NRC_FUZZ_SEED");
+  if (!cls_s || !seed_s)
+    GTEST_SKIP() << "set NRC_FUZZ_CLASS and NRC_FUZZ_SEED to rerun one case";
+  FuzzClass cls = FuzzClass::Triangular;
+  bool found = false;
+  for (const FuzzClass c : testutil::kFuzzClasses) {
+    if (std::string(cls_s) == testutil::fuzz_class_name(c)) {
+      cls = c;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "unknown NRC_FUZZ_CLASS '" << cls_s << "'";
+  FuzzTally tally;
+  const FuzzNest fc = testutil::make_fuzz_nest(cls, std::strtoull(seed_s, nullptr, 0));
+  std::printf("%s\n", fc.repro().c_str());
+  run_case(fc, &tally);
+}
+
+// ----------------------------------------- long randomized slice (label: long)
+//
+// NRC_FUZZ_DOMAINS domains per class (default 10000); wired into the
+// push-to-main CI sanitize leg, where the whole slice runs under
+// ASan/UBSan.
+
+i64 long_domains() { return env_i64("NRC_FUZZ_DOMAINS", 10000); }
+
+TEST(DifferentialFuzzLong, Triangular) {
+  run_fuzz(FuzzClass::Triangular, long_domains(), 0xA100);
+}
+TEST(DifferentialFuzzLong, Tiled) {
+  run_fuzz(FuzzClass::Tiled, long_domains(), 0xA200);
+}
+TEST(DifferentialFuzzLong, Skewed) {
+  run_fuzz(FuzzClass::Skewed, long_domains(), 0xA300);
+}
+TEST(DifferentialFuzzLong, Degenerate) {
+  run_fuzz(FuzzClass::Degenerate, long_domains(), 0xA400);
+}
+
+}  // namespace
+}  // namespace nrc

@@ -52,7 +52,21 @@ std::vector<Case> engine_cases() {
                    collapse(testutil::triangular_strict()).bind({{"N", 300}})});
   cases.push_back({"tetrahedral_cubic",
                    collapse(testutil::tetrahedral_fig6()).bind({{"N", 40}})});
+  // The guarded Ferrari, in all four engine configurations: proven-f64
+  // guards (the default), the checked-i128 reference guards, the forced
+  // per-point bytecode demotion path, and the bytecode ablation — every
+  // one must stay allocation-free.
   cases.push_back({"simplex_quartic", collapse(testutil::simplex_4d()).bind({{"N", 20}})});
+  cases.push_back({"simplex_quartic_i128", collapse(testutil::simplex_4d()).bind({{"N", 20}})});
+  cases.back().cn.set_f64_guards(false);
+  cases.push_back(
+      {"simplex_quartic_demoted", collapse(testutil::simplex_4d()).bind({{"N", 20}})});
+  cases.back().cn.force_quartic_demotion();
+  cases.push_back(
+      {"simplex_quartic_bytecode", collapse(testutil::simplex_4d()).bind({{"N", 20}})});
+  cases.back().cn.use_bytecode_quartics();
+  cases.push_back({"quartic_shifted",
+                   collapse(testutil::simplex_4d_shifted()).bind({{"N", 16}})});
   cases.push_back({"rectangular_division",
                    collapse(testutil::rectangular()).bind({{"N", 40}, {"M", 17}})});
   return cases;

@@ -4,8 +4,12 @@
 // over full domains.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "../test_util.hpp"
+#include "core/real_solvers.hpp"
 #include "kernels/registry.hpp"
+#include "math/roots.hpp"
 
 namespace nrc {
 namespace {
@@ -199,7 +203,7 @@ TEST(RecoveryEngine, SolverKindsMatchLevelDegrees) {
   }
   {
     const CollapsedEval cn = collapse(testutil::simplex_4d()).bind({{"N", 8}});
-    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Program);  // quartic
+    EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Quartic);  // guarded Ferrari
   }
   {
     const CollapsedEval cn = collapse(testutil::simplex_5d()).bind({{"N", 6}});
@@ -351,7 +355,9 @@ TEST(RecoveryEngine, DescribeNamesLoweredSolvers) {
   EXPECT_NE(d.find("lowered solver: guarded-quadratic"), std::string::npos);
   EXPECT_NE(d.find("lowered solver: innermost-linear"), std::string::npos);
   const std::string q = collapse(testutil::simplex_4d()).describe();
-  EXPECT_NE(q.find("lowered solver: bytecode-program"), std::string::npos) << q;
+  EXPECT_NE(q.find("lowered solver: guarded-ferrari"), std::string::npos) << q;
+  EXPECT_NE(q.find("[bytecode demotion]"), std::string::npos) << q;
+  EXPECT_NE(q.find("guard policy: proven-exact f64"), std::string::npos) << q;
   const std::string r = collapse(testutil::rectangular()).describe();
   EXPECT_NE(r.find("lowered solver: exact-division"), std::string::npos) << r;
 }
@@ -364,14 +370,16 @@ TEST(RecoveryEngine, DescribeNamesLaneBatchedSolvers) {
   EXPECT_NE(d.find("guarded-quadratic [lane-batched x4]"), std::string::npos) << d;
   EXPECT_NE(d.find("runtime simd abi: "), std::string::npos) << d;
   const std::string q = collapse(testutil::simplex_4d()).describe();
-  EXPECT_NE(q.find("bytecode-program [lane-batched x4]"), std::string::npos) << q;
+  EXPECT_NE(q.find("guarded-ferrari [lane-batched x4]"), std::string::npos) << q;
 }
 
 TEST(RecoveryEngine, AstronomicalParameterOffsetsStillBind) {
   // Folding A ~ 1e6 into quartic level coefficients produces A^4-scale
-  // constants beyond the exact int64 range; lowering must demote to the
-  // interpreter instead of letting OverflowError escape bind() (the seed
-  // engine handled this nest).
+  // constants in the RecoveryProgram lowering beyond the exact int64
+  // range; the bytecode demotion target stays uncompiled, but the
+  // guarded Ferrari runs fine on the exactly evaluated i128 coefficients
+  // (the exact-double proof fails at these magnitudes, so the checked
+  // reference guards carry the level).
   NestSpec n;
   n.param("A");
   n.loop("i", aff::v("A"), aff::v("A") + 9)
@@ -379,13 +387,260 @@ TEST(RecoveryEngine, AstronomicalParameterOffsetsStillBind) {
       .loop("k", aff::v("j"), aff::v("A") + 9)
       .loop("l", aff::v("k"), aff::v("A") + 9);
   const CollapsedEval cn = collapse(n).bind({{"A", 1000000}});
-  EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Interpreted);
+  EXPECT_EQ(cn.solver_kind(0), LevelSolverKind::Quartic);
+  EXPECT_FALSE(cn.guards_provably_f64(0));
   expect_engine_matches_search(cn, "astronomical_offsets");
   // The lane-batched path must take the same demotions (no exact-double
   // proof here: slot magnitudes around 1e6 push quartic coefficients
   // past the 2^53 window) and still match search exactly.
   expect_recover4_matches_search(cn, "astronomical_offsets");
   expect_lane_blocks_match_search(cn, 13, 13, "astronomical_offsets");
+}
+
+// ---------------------------------------------------------------------------
+// Guarded real-arithmetic Ferrari (PR 3).
+
+/// Compare ferrari_estimate against the complex reference evaluator for
+/// every one of the 12 Ferrari branches of one coefficient set.  Where
+/// the real-arithmetic path claims success, its floor must match the
+/// reference floor to within 1 (the correction budget of the exact
+/// guard); where the reference itself degenerates the claim is skipped.
+void expect_ferrari_tracks_reference(const double (&A)[5], const std::string& tag) {
+  cld cc[5];
+  for (int e = 0; e < 5; ++e) cc[e] = cld(static_cast<long double>(A[e]), 0.0L);
+  for (int br = 0; br < 12; ++br) {
+    i64 est;
+    if (!ferrari_estimate<long double>(A, br, &est)) continue;  // demotes: fine
+    const cld ref = root_branch_value(std::span<const cld>(cc, 5), br);
+    if (!std::isfinite(static_cast<double>(ref.real()))) continue;
+    const long double re = ref.real();
+    if (re < -9e18L || re > 9e18L) continue;
+    const i64 ref_est = static_cast<i64>(std::floor(re + 1e-9L));
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(ref_est), 1.0)
+        << tag << " branch=" << br;
+  }
+}
+
+TEST(FerrariEstimate, QuarticEdgeFamilies) {
+  // Biquadratic (x^2-1)(x^2-4): odd coefficients zero, the resolvent
+  // has the w = 0 root Ferrari cannot divide through (those branches
+  // must report degeneration, not a wrong estimate).
+  const double biquadratic[5] = {4, 0, -5, 0, 1};
+  expect_ferrari_tracks_reference(biquadratic, "biquadratic");
+  // Repeated real roots (x-2)^2 (x+3)^2: the resolvent discriminant is
+  // exactly zero.
+  const double repeated[5] = {36, -12, -11, 2, 1};
+  expect_ferrari_tracks_reference(repeated, "repeated");
+  // Near-zero resolvent discriminant: the repeated-root quartic
+  // perturbed one unit either way.
+  const double near_lo[5] = {35, -12, -11, 2, 1};
+  const double near_hi[5] = {37, -12, -11, 2, 1};
+  expect_ferrari_tracks_reference(near_lo, "near_disc_lo");
+  expect_ferrari_tracks_reference(near_hi, "near_disc_hi");
+  // Clustered real roots 7, 7, 8, -1.
+  const double clustered[5] = {-392, -231, 139, -21, 1};
+  expect_ferrari_tracks_reference(clustered, "clustered");
+  // Degenerate leading coefficient: never claims an estimate.
+  const double cubic_like[5] = {1, 2, 3, 4, 0};
+  i64 est;
+  for (int br = 0; br < 12; ++br)
+    EXPECT_FALSE(ferrari_estimate<long double>(cubic_like, br, &est)) << br;
+}
+
+TEST(FerrariEstimate, RandomQuarticsTrackReference) {
+  std::mt19937_64 rng(20260726);
+  for (int iter = 0; iter < 4000; ++iter) {
+    double A[5];
+    const i64 m = iter % 3 == 0 ? 9 : iter % 3 == 1 ? 1000 : 2000000;
+    for (int e = 0; e < 5; ++e)
+      A[e] = static_cast<double>(static_cast<i64>(rng() % static_cast<u64>(2 * m + 1)) - m);
+    if (A[4] == 0) A[4] = 1;
+    if (iter % 7 == 0) A[3] = A[1] = 0;  // biquadratic slice
+    expect_ferrari_tracks_reference(A, "random#" + std::to_string(iter));
+  }
+}
+
+/// Complex Cardano with the +i convention for real radicands — exactly
+/// what the RecoveryProgram bytecode computes (its real-valued registers
+/// carry im = +0, so CSqrt of a negative real register always takes the
+/// +i branch).  root_branch_value is *not* a usable oracle for cubic
+/// branches 1/2: its fully-complex evaluation can flip the radicand's
+/// imaginary zero to -0 depending on coefficient signs, conjugating the
+/// cube root and swapping those two branches — Re of a quartic branch is
+/// invariant under that conjugation, a cubic branch value is not.
+cld cardano_plus_i(const double* A, int branch) {
+  const long double b = static_cast<long double>(A[2]) / A[3];
+  const long double c = static_cast<long double>(A[1]) / A[3];
+  const long double d = static_cast<long double>(A[0]) / A[3];
+  const long double p = c - b * b / 3.0L;
+  const long double q = 2.0L * b * b * b / 27.0L - b * c / 3.0L + d;
+  const long double delta = q * q / 4.0L + p * p * p / 27.0L;
+  const cld sq = delta >= 0 ? cld(std::sqrt(delta), 0.0L)
+                            : cld(0.0L, std::sqrt(-delta));
+  const cld u = principal_cbrt(-q / 2.0L + sq);
+  constexpr long double kPi = 3.14159265358979323846264338327950288L;
+  const cld uk = u * cld(std::cos(2.0L * kPi * branch / 3.0L),
+                         std::sin(2.0L * kPi * branch / 3.0L));
+  return uk - p / (3.0L * uk) - b / 3.0L;
+}
+
+TEST(CubicEstimate, AllBranchesTrackReference) {
+  // The Viete/Cardano estimate must track the bytecode-semantics
+  // reference on all three branches (the seed only ever exercised
+  // branch 0; the Ferrari resolvent reaches every branch).
+  std::mt19937_64 rng(777);
+  for (int iter = 0; iter < 4000; ++iter) {
+    double A[4];
+    for (int e = 0; e < 4; ++e)
+      A[e] = static_cast<double>(static_cast<i64>(rng() % 2001) - 1000);
+    if (A[3] == 0) A[3] = 1;
+    for (int br = 0; br < 3; ++br) {
+      i64 est;
+      if (!cubic_estimate<long double>(A, br, &est)) continue;
+      const cld ref = cardano_plus_i(A, br);
+      if (!std::isfinite(static_cast<double>(ref.real()))) continue;
+      const i64 ref_est = static_cast<i64>(std::floor(ref.real() + 1e-9L));
+      EXPECT_NEAR(static_cast<double>(est), static_cast<double>(ref_est), 1.0)
+          << "iter=" << iter << " branch=" << br;
+    }
+  }
+}
+
+/// Every quartic-level shape: the Ferrari engine must agree with search
+/// over the full domain without a single search fallback or demotion
+/// (healthy nests never leave the real-arithmetic path), and the
+/// bytecode ablation (use_bytecode_quartics) must stay byte-identical.
+TEST(RecoveryEngine, FerrariSolvesQuarticNestsWithoutDemotion) {
+  for (const auto& sc : {testutil::simplex_4d(), testutil::simplex_4d_shifted(),
+                         testutil::trapezoid_tower_4d(), testutil::simplex_4d_tower()}) {
+    const ParamMap p = testutil::uniform_params(sc, 9);
+    if (!has_no_empty_ranges(sc, p)) continue;
+    const CollapsedEval cn = collapse(sc).bind(p);
+    ASSERT_EQ(cn.solver_kind(0), LevelSolverKind::Quartic);
+    CollapsedEval bytecode = cn;
+    bytecode.use_bytecode_quartics();
+    ASSERT_NE(bytecode.solver_kind(0), LevelSolverKind::Quartic);
+
+    RecoveryStats stats;
+    const size_t d = static_cast<size_t>(cn.depth());
+    std::vector<i64> eng(d), via_bc(d), ref(d);
+    for (i64 pc = 1; pc <= cn.trip_count(); ++pc) {
+      cn.recover_search(pc, ref);
+      cn.recover(pc, eng, &stats);
+      ASSERT_EQ(eng, ref) << "ferrari pc=" << pc;
+      bytecode.recover(pc, via_bc);
+      ASSERT_EQ(via_bc, ref) << "bytecode ablation pc=" << pc;
+    }
+    EXPECT_EQ(stats.fallback, 0);
+    EXPECT_EQ(stats.quartic_demoted, 0);
+    EXPECT_GT(stats.closed_form, 0);
+  }
+}
+
+/// Demotion to bytecode on guard failure: force_quartic_demotion makes
+/// every quartic point take the demoted path (bytecode estimate + exact
+/// guard, quartic_demoted counting), and the results must still match
+/// search exactly — scalar and lane-batched engines alike.
+TEST(RecoveryEngine, QuarticGuardFailureDemotesToBytecode) {
+  for (const auto& nest : {testutil::simplex_4d(), testutil::trapezoid_tower_4d()}) {
+    const CollapsedEval cn = collapse(nest).bind({{"N", 11}});
+    CollapsedEval demoted = cn;
+    demoted.force_quartic_demotion();
+    ASSERT_EQ(demoted.solver_kind(0), LevelSolverKind::Quartic);
+
+    RecoveryStats stats;
+    const size_t d = static_cast<size_t>(cn.depth());
+    std::vector<i64> idx(d), ref(d), out4(4 * d);
+    for (i64 pc = 1; pc <= cn.trip_count(); ++pc) {
+      cn.recover_search(pc, ref);
+      demoted.recover(pc, idx, &stats);
+      ASSERT_EQ(idx, ref) << "demoted recover pc=" << pc;
+    }
+    EXPECT_EQ(stats.quartic_demoted, cn.trip_count());
+    EXPECT_EQ(stats.fallback, 0);  // the bytecode estimate still lands
+
+    RecoveryStats lane_stats;
+    for (i64 lo = 1; lo <= cn.trip_count(); lo += 4) {
+      const i64 base = std::min<i64>(lo, std::max<i64>(1, cn.trip_count() - 3));
+      const i64 pcs[4] = {base, std::min(base + 1, cn.trip_count()),
+                          std::min(base + 2, cn.trip_count()),
+                          std::min(base + 3, cn.trip_count())};
+      demoted.recover4(pcs, out4, &lane_stats);
+      for (int l = 0; l < 4; ++l) {
+        cn.recover_search(pcs[l], ref);
+        for (size_t q = 0; q < d; ++q)
+          ASSERT_EQ(out4[static_cast<size_t>(l) * d + q], ref[q])
+              << "demoted recover4 pc=" << pcs[l];
+      }
+    }
+    EXPECT_GT(lane_stats.quartic_demoted, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unified guard policy: proven-exact f64 vs the checked-i128 reference.
+
+/// recover()/recover_block() must be byte-identical with the f64 guard
+/// policy on and off, across every kernel nest and shape — the
+/// bind-time proof guarantees it, this enforces it.
+TEST(RecoveryEngine, F64GuardsByteIdenticalToI128OnEveryKernelNest) {
+  int proven_levels = 0;
+  auto check = [&](const CollapsedEval& cn, const std::string& tag) {
+    CollapsedEval ref_cn = cn;
+    ref_cn.set_f64_guards(false);
+    EXPECT_TRUE(cn.f64_guards());
+    EXPECT_FALSE(ref_cn.f64_guards());
+    for (int k = 0; k < cn.depth(); ++k)
+      if (cn.guards_provably_f64(k)) ++proven_levels;
+    const size_t d = static_cast<size_t>(cn.depth());
+    std::vector<i64> a(d), b(d);
+    for (i64 pc = 1; pc <= cn.trip_count(); ++pc) {
+      cn.recover(pc, a);
+      ref_cn.recover(pc, b);
+      ASSERT_EQ(a, b) << tag << " recover pc=" << pc;
+    }
+    constexpr i64 kBlock = 17;
+    std::vector<i64> ba(kBlock * d), bb(kBlock * d);
+    for (i64 lo = 1; lo <= cn.trip_count(); lo += kBlock) {
+      const i64 ga = cn.recover_block(lo, kBlock, ba);
+      const i64 gb = ref_cn.recover_block(lo, kBlock, bb);
+      ASSERT_EQ(ga, gb) << tag << " rows lo=" << lo;
+      ASSERT_EQ(ba, bb) << tag << " recover_block lo=" << lo;
+    }
+  };
+  for (const auto& name : kernel_names()) {
+    auto kernel = make_kernel(name);
+    kernel->prepare(0.0);
+    check(collapse(kernel->collapsed_spec()).bind(kernel->bound_params()), name);
+  }
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const ParamMap p = testutil::uniform_params(sc.nest, 7);
+    if (!has_no_empty_ranges(sc.nest, p)) continue;
+    check(collapse(sc.nest).bind(p), sc.name);
+  }
+  // The policy must actually engage somewhere, or this test is vacuous.
+  EXPECT_GT(proven_levels, 0);
+}
+
+TEST(RecoveryEngine, F64GuardProofHoldsOnTypicalBindsFailsOnAstronomical) {
+  // Typical magnitudes: every non-innermost level of the quartic simplex
+  // proves the exact-double path.
+  const CollapsedEval typical = collapse(testutil::simplex_4d()).bind({{"N", 60}});
+  EXPECT_TRUE(typical.guards_provably_f64(0));
+  // Astronomical offsets: folded coefficients leave the 2^53 window and
+  // the proof must refuse (the checked-i128 reference carries the level).
+  NestSpec n;
+  n.param("A");
+  n.loop("i", aff::v("A"), aff::v("A") + 9).loop("j", aff::v("i"), aff::v("A") + 9);
+  const CollapsedEval astro = collapse(n).bind({{"A", 100000000}});
+  ASSERT_EQ(astro.solver_kind(0), LevelSolverKind::Quadratic);
+  EXPECT_FALSE(astro.guards_provably_f64(0));
+  std::vector<i64> a(2), ref(2);
+  for (i64 pc = 1; pc <= astro.trip_count(); ++pc) {
+    astro.recover(pc, a);
+    astro.recover_search(pc, ref);
+    ASSERT_EQ(a, ref) << pc;
+  }
 }
 
 TEST(RecoveryEngine, LargeParameterBlocksStayExact) {

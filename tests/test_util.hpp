@@ -1,7 +1,11 @@
 #pragma once
 // Shared helpers for the nrcollapse test suite: the menagerie of nest
-// shapes the property tests sweep over.
+// shapes the property tests sweep over, and the seeded random nest
+// generator behind the randomized differential fuzzer
+// (tests/core/differential_fuzz_test.cpp).
 
+#include <cstdio>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -148,6 +152,44 @@ inline NestSpec shifted_bounds() {
   return n;
 }
 
+/// 4-deep simplex with shifted/offset bounds: quartic level equation
+/// whose coefficients carry non-trivial constants.
+inline NestSpec simplex_4d_shifted() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(3), aff::v("N") + 3)
+      .loop("j", aff::v("i") - 2, aff::v("N") + 3)
+      .loop("k", aff::v("j"), aff::v("N") + 4)
+      .loop("l", aff::v("k"), aff::v("N") + 5);
+  return n;
+}
+
+/// Growing-extent 4-deep nest (trapezoid tower): the level-0 equation is
+/// quartic with every extent widening in the outer indices.
+inline NestSpec trapezoid_tower_4d() {
+  NestSpec n;
+  n.param("N")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::c(0), aff::v("i") + 1)
+      .loop("k", aff::v("j"), aff::v("i") + 2)
+      .loop("l", aff::c(0), aff::v("k") + 2);
+  return n;
+}
+
+/// 5-deep: 4-chain simplex over a rectangular floor — quartic level-0
+/// equation inside a deeper nest (the paper's closed-form limit holds
+/// per level, not per nest).
+inline NestSpec simplex_4d_tower() {
+  NestSpec n;
+  n.param("N").param("M")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("N"))
+      .loop("k", aff::v("j"), aff::v("N"))
+      .loop("l", aff::v("k"), aff::v("N"))
+      .loop("m", aff::c(0), aff::v("M"));
+  return n;
+}
+
 /// All shapes that satisfy the model for the given uniform parameter
 /// value, with every level degree <= 4 (closed-form eligible).
 inline std::vector<ShapeCase> closed_form_shapes() {
@@ -165,6 +207,9 @@ inline std::vector<ShapeCase> closed_form_shapes() {
       {"sum_bound_3d", sum_bound_3d()},
       {"simplex_4d", simplex_4d()},
       {"shifted_bounds", shifted_bounds()},
+      {"simplex_4d_shifted", simplex_4d_shifted()},
+      {"trapezoid_tower_4d", trapezoid_tower_4d()},
+      {"simplex_4d_tower", simplex_4d_tower()},
   };
 }
 
@@ -173,6 +218,255 @@ inline ParamMap uniform_params(const NestSpec& nest, i64 v) {
   ParamMap p;
   for (const auto& name : nest.params()) p[name] = v;
   return p;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential nest fuzzer (tests/core/differential_fuzz_test.cpp).
+//
+// make_fuzz_nest(cls, seed) deterministically generates a valid random
+// nest of the given class.  Bounds are built as lower + width with the
+// width's minimum over the whole iteration box (interval arithmetic over
+// the outer-variable ranges, the parameter N ranging over
+// [1, kFuzzMaxN]) fixed up to stay >= 1, so every generated nest
+// satisfies the Fig. 5 no-empty-ranges model for EVERY N in
+// [1, kFuzzMaxN] — one symbolic collapse() serves several bound domains.
+// Degenerate cases may instead force a pointwise-zero width
+// (expect_empty: collapse() or bind() must reject the domain).
+//
+// Reproducing a failure: every assertion message carries
+// "class=<name> seed=<decimal>"; rerun just that case with
+//   NRC_FUZZ_CLASS=<name> NRC_FUZZ_SEED=<decimal> ctest -R differential
+// (see the Repro test in differential_fuzz_test.cpp and README.md).
+
+enum class FuzzClass { Triangular, Tiled, Skewed, Degenerate };
+
+inline constexpr FuzzClass kFuzzClasses[] = {
+    FuzzClass::Triangular, FuzzClass::Tiled, FuzzClass::Skewed,
+    FuzzClass::Degenerate};
+
+inline constexpr i64 kFuzzMaxN = 7;  ///< generated nests are valid for N in [1, this]
+
+inline const char* fuzz_class_name(FuzzClass c) {
+  switch (c) {
+    case FuzzClass::Triangular:
+      return "triangular";
+    case FuzzClass::Tiled:
+      return "tiled";
+    case FuzzClass::Skewed:
+      return "skewed";
+    case FuzzClass::Degenerate:
+      return "degenerate";
+  }
+  return "?";
+}
+
+struct FuzzNest {
+  NestSpec nest;
+  FuzzClass cls = FuzzClass::Triangular;
+  u64 seed = 0;
+  bool expect_empty = false;  ///< collapse()/bind() must reject the domain
+  ParamMap calibration;       ///< small explicit calibration (keeps fuzzing fast)
+  ParamMap fixed_params;      ///< non-N parameters (the "S" offset), bound as-is
+
+  /// Repro line prefixed to every assertion message.
+  std::string repro() const {
+    std::string s = std::string("class=") + fuzz_class_name(cls) +
+                    " seed=" + std::to_string(seed);
+    for (const auto& [k, v] : fixed_params) s += " " + k + "=" + std::to_string(v);
+    return s + "\n" + nest.str();
+  }
+};
+
+inline FuzzNest make_fuzz_nest(FuzzClass cls, u64 seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eed5eedULL);
+  auto pick = [&](i64 lo, i64 hi) {
+    return lo + static_cast<i64>(rng() % static_cast<u64>(hi - lo + 1));
+  };
+
+  FuzzNest fc;
+  fc.cls = cls;
+  fc.seed = seed;
+  fc.calibration["N"] = pick(2, 3);
+
+  NestSpec n;
+  n.param("N");
+
+  int depth;
+  if (cls == FuzzClass::Tiled) {
+    depth = 2 * static_cast<int>(pick(1, 2));
+  } else {
+    // Skewed toward shallow nests; depth 5 (quartic level equations
+    // inside deeper nests) kept rare because its symbolic collapse
+    // dominates the fuzzing budget.
+    const i64 roll = pick(0, 9);
+    depth = roll < 3 ? 2 : roll < 6 ? 3 : roll < 9 ? 4 : 5;
+  }
+
+  // Magnitude regime: small coefficients, medium offsets, or
+  // near-demotion offsets.  The offset rides on a dedicated parameter S
+  // (a literal 3e6 constant would overflow the *symbolic* ranking
+  // machinery at depth 4 — shift^4 > int64 — whereas parameter folding
+  // at bind() time demotes gracefully, exercising the i128 guards and
+  // the Search/Interpreted fallbacks the way astronomical parameters
+  // do in production).
+  const i64 magroll = cls == FuzzClass::Degenerate ? pick(0, 2) : pick(0, 9);
+  const i64 shift = magroll >= 2 ? 0
+                    : magroll == 1 ? pick(50, 4000)
+                                   : pick(50000, 3000000);
+  if (shift > 0) {
+    n.param("S");
+    fc.fixed_params["S"] = shift;
+    fc.calibration["S"] = shift;
+  }
+
+  // Degenerate sub-modes.
+  const bool empty_domain = cls == FuzzClass::Degenerate && pick(0, 3) == 0;
+  const bool single_point = !empty_domain && cls == FuzzClass::Degenerate && pick(0, 2) == 0;
+  const int empty_level = empty_domain ? static_cast<int>(pick(0, depth - 1)) : -1;
+  fc.expect_empty = empty_domain;
+
+  std::vector<std::string> vars;
+  std::vector<i64> vmin, vmax;  // interval over the box, N in [1, kFuzzMaxN]
+  double prod = 1.0;            // running bound on the domain size
+
+  // Random affine over the outer vars and N; returns the expression and
+  // its [lo, hi] interval over the box.
+  struct Iv {
+    AffineExpr e;
+    i64 lo = 0, hi = 0;
+  };
+  auto rand_aff = [&](i64 cmax, int max_terms, i64 c_lo, i64 c_hi, int n_coef_max) {
+    Iv a;
+    const int nt = static_cast<int>(pick(0, max_terms));
+    for (int t = 0; t < nt && !vars.empty(); ++t) {
+      const size_t j = static_cast<size_t>(pick(0, static_cast<i64>(vars.size()) - 1));
+      const i64 coef = pick(-cmax, cmax);
+      if (coef == 0) continue;
+      a.e += coef * aff::v(vars[j]);
+      a.lo += coef * (coef > 0 ? vmin[j] : vmax[j]);
+      a.hi += coef * (coef > 0 ? vmax[j] : vmin[j]);
+    }
+    const i64 ncoef = pick(0, n_coef_max);
+    if (ncoef > 0) {
+      a.e += ncoef * aff::v("N");
+      a.lo += ncoef * 1;
+      a.hi += ncoef * kFuzzMaxN;
+    }
+    const i64 c = pick(c_lo, c_hi);
+    a.e += aff::c(c);
+    a.lo += c;
+    a.hi += c;
+    return a;
+  };
+
+  for (int k = 0; k < depth; ++k) {
+    const std::string var = "t" + std::to_string(k);
+    Iv lo, wd;
+    const bool tiled_elem = cls == FuzzClass::Tiled && (k % 2) == 1;
+    if (tiled_elem) {
+      // Element loop of a tile pair: [B*ii, B*ii + B).
+      const i64 B = pick(2, 4);
+      lo.e = B * aff::v(vars.back());
+      lo.lo = B * vmin.back();
+      lo.hi = B * vmax.back();
+      wd.e = aff::c(B);
+      wd.lo = wd.hi = B;
+    } else {
+      switch (cls) {
+        case FuzzClass::Triangular:
+          // Chain on the previous iterator with unit coefficients, the
+          // paper's triangular/tetrahedral shape family.
+          if (k > 0 && pick(0, 9) < 8) {
+            const size_t j = vars.size() - 1;
+            const i64 c = pick(-1, 1);
+            lo.e = aff::v(vars[j]) + aff::c(c);
+            lo.lo = vmin[j] + c;
+            lo.hi = vmax[j] + c;
+            if (pick(0, 1)) {
+              // Shared upper bound N + c' (the simplex family, whose
+              // level-equation degree grows with every chained level —
+              // quartic at depth 4): width = N + c' - lower, with the
+              // fix-up below keeping it pointwise positive.
+              const i64 cu = pick(0, 2);
+              wd.e = aff::v("N") + aff::c(cu) - lo.e;
+              wd.lo = 1 + cu - lo.hi;
+              wd.hi = kFuzzMaxN + cu - lo.lo;
+            } else {
+              wd = rand_aff(1, 1, 0, 4, 1);
+            }
+          } else {
+            lo = rand_aff(0, 0, 0, 2, 0);
+            wd = rand_aff(1, 1, 0, 4, 1);
+          }
+          break;
+        case FuzzClass::Tiled:  // block loop of a pair
+          lo = rand_aff(0, 0, 0, 1, 0);
+          wd = rand_aff(0, 0, 2, 4, pick(0, 1) ? 1 : 0);
+          break;
+        case FuzzClass::Skewed:
+          lo = rand_aff(3, 2, -2, 2, 1);
+          wd = rand_aff(2, 1, 0, 4, 1);
+          break;
+        case FuzzClass::Degenerate:
+          lo = rand_aff(2, 1, 0, 2, 1);
+          wd = single_point ? rand_aff(0, 0, 1, 1, 0) : rand_aff(1, 1, 0, 2, 1);
+          break;
+      }
+    }
+    if (k == 0 && shift > 0) {
+      lo.e += aff::v("S");
+      lo.lo += shift;
+      lo.hi += shift;
+    }
+    if (k == empty_level) {
+      wd = Iv{};  // pointwise-empty range: the whole domain is empty
+    } else if (!tiled_elem) {
+      // Pointwise validity: raise the width's constant so its interval
+      // minimum is >= 1 over the whole box (single_point pins it to 1).
+      // A fix-up that would materialize a large literal constant (the
+      // width referenced a shift-scale outer variable negatively) is
+      // replaced by a small constant width instead: literal constants
+      // c make the *symbolic* ranking carry c^depth-scale coefficients,
+      // which must stay inside exact int64 — offsets that big belong on
+      // the S parameter, where bind-time folding demotes gracefully.
+      if (single_point) wd = Iv{aff::c(1), 1, 1};
+      if (wd.lo < 1) {
+        const i64 fix = 1 - wd.lo;
+        if (fix > 100) {
+          const i64 cap = pick(1, 3);
+          wd = Iv{aff::c(cap), cap, cap};
+        } else {
+          wd.e += aff::c(fix);
+          wd.lo += fix;
+          wd.hi += fix;
+        }
+      }
+      // Keep full-domain sweeps affordable.
+      if (prod * static_cast<double>(wd.hi) > 3000.0) {
+        const i64 cap = pick(1, 2);
+        wd = Iv{aff::c(cap), cap, cap};
+      }
+    }
+    prod *= static_cast<double>(std::max<i64>(wd.hi, 1));
+    n.loop(var, lo.e, lo.e + wd.e);
+    vars.push_back(var);
+    vmin.push_back(lo.lo);
+    vmax.push_back(lo.hi + wd.hi - 1);
+  }
+
+  fc.nest = n;
+  return fc;
+}
+
+/// The parameter values a generated nest is bound at: a small sweep of
+/// N values the generator guaranteed valid, occasionally degenerate
+/// (N = 1) first so empty/single-point rows surface.
+inline std::vector<i64> fuzz_bind_values(const FuzzNest& fc) {
+  if (fc.expect_empty) return {2};  // one rejected bind is enough
+  std::mt19937_64 rng(fc.seed ^ 0xb1bdb1bdULL);
+  std::vector<i64> out{1, 2 + static_cast<i64>(rng() % (kFuzzMaxN - 1))};
+  if (out[1] != kFuzzMaxN) out.push_back(kFuzzMaxN);
+  return out;
 }
 
 }  // namespace nrc::testutil
