@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "math/rational.hpp"
 #include "support/error.hpp"
 #include "symbolic/print_c.hpp"
 
@@ -91,14 +92,23 @@ void emit_inner_loops_and_body(CodeWriter& w, const NestProgram& prog) {
 
 /// Recovery statements for all collapsed indices at the current pc.
 ///
-/// Each non-innermost index is recovered by the closed-form root (as in
-/// the paper's Figs 3/7) and then pinned by an exact integer-arithmetic
-/// correction against the ranking polynomial.  The paper's raw formulas
-/// floor a double, which misplaces the index when the root lands exactly
-/// on an integer and the FP value comes out a hair below it; the guard
-/// makes the generated code correct for every size at the cost of a few
-/// integer operations per recovery (recoveries already run only once per
-/// thread/chunk).
+/// Each non-innermost index is recovered by the closed-form root and
+/// then pinned by an exact integer-arithmetic correction against the
+/// ranking polynomial.  Degree <= 2 levels print the symbolic root as
+/// in the paper's Fig. 3; degree 3 and 4 levels call the guarded
+/// real-arithmetic Cardano/Ferrari helpers (real_solver_helpers_c) on
+/// the integer-scaled level-equation coefficients — the same formulas,
+/// branch numbering and coefficient scaling the library engine runs, so
+/// the generated C and CollapsedEval estimate identically instead of
+/// diverging at degenerate/near-discriminant points the C99 complex
+/// `creal(cpow(...))` form mishandles (a non-finite complex estimate
+/// floored into a long is undefined behaviour; the helper reports
+/// degeneration and the demotion fallback below keeps the recovery
+/// exact).  The paper's raw formulas floor a double, which misplaces
+/// the index when the root lands exactly on an integer and the FP value
+/// comes out a hair below it; the guard makes the generated code
+/// correct for every size at the cost of a few integer operations per
+/// recovery (recoveries already run only once per thread/chunk).
 void emit_recovery(CodeWriter& w, const NestProgram& prog, const Collapsed& col) {
   const NestSpec& sub = col.nest();
   const int c = sub.depth();
@@ -108,19 +118,40 @@ void emit_recovery(CodeWriter& w, const NestProgram& prog, const Collapsed& col)
       throw SolveError("emit: level '" + sub.at(k).var +
                        "' has no closed-form recovery (degree " +
                        std::to_string(lf.degree) + ")");
-    CPrintOptions po;
-    po.complex_mode = lf.degree >= 3;
-    const std::string e = print_c(lf.root, po);
     const std::string& var = sub.at(k).var;
-    if (po.complex_mode) {
-      w.line(var + " = (long)floor(creal(" + e + "));");
+    const std::string lb = "(" + sub.at(k).lower.str() + ")";
+    const std::string ub = "(" + sub.at(k).upper.str() + ")";
+    if (lf.degree >= 3) {
+      // Integer-scaled coefficients A_e = D * a_e (D the common
+      // denominator over the level, exactly as bind() scales them for
+      // the library solvers; a uniform positive scale leaves the roots
+      // and the branch numbering untouched).
+      i64 den = 1;
+      for (const auto& a : lf.coeffs) den = lcm_i64(den, a.denominator_lcm());
+      w.line("{");
+      ++w.depth;
+      for (size_t e = 0; e < lf.coeffs.size(); ++e)
+        w.line("const double __nrc_A" + std::to_string(e) + " = (double)" +
+               print_poly_c(lf.coeffs[e] * Rational(den), {}, /*integer_arith=*/true) +
+               ";");
+      w.line("long __nrc_est;");
+      std::string call = lf.degree == 3 ? "nrc_cubic_est(" : "nrc_ferrari_est(";
+      for (size_t e = 0; e < lf.coeffs.size(); ++e)
+        call += "__nrc_A" + std::to_string(e) + ", ";
+      call += std::to_string(lf.branch) + ", &__nrc_est)";
+      // Demotion guard: where the real-arithmetic estimate degenerates
+      // (the library would demote the point to its bytecode engine) the
+      // generated code starts the exact correction from the level's
+      // lower bound instead of flooring a non-finite value.
+      w.line(var + " = " + call + " ? __nrc_est : " + lb + ";");
+      --w.depth;
+      w.line("}");
     } else {
+      const std::string e = print_c(lf.root, {});
       w.line(var + " = (long)floor(" + e + ");");
     }
     // Exact guard: clamp into the level's range, then correct against
     // the integer-valued ranking polynomial (monotone in this index).
-    const std::string lb = "(" + sub.at(k).lower.str() + ")";
-    const std::string ub = "(" + sub.at(k).upper.str() + ")";
     const Polynomial& Rk = col.ranking().prefix_rank[static_cast<size_t>(k)];
     const Polynomial Rk_next =
         Rk.substitute(var, Polynomial::variable(var) + Polynomial(1));
@@ -161,7 +192,10 @@ void emit_increment(CodeWriter& w, const Collapsed& col) {
   }
 }
 
-bool needs_complex(const Collapsed& col) {
+/// True when some collapsed level recovers through the guarded
+/// real-arithmetic Cardano/Ferrari helpers (degree >= 3), which must
+/// then accompany the emitted function.
+bool needs_real_solvers(const Collapsed& col) {
   const int c = col.nest().depth();
   for (int k = 0; k + 1 < c; ++k)
     if (col.levels()[static_cast<size_t>(k)].degree >= 3) return true;
@@ -197,6 +231,10 @@ std::string emit_original_function(const NestProgram& prog) {
 std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& col,
                                     const EmitOptions& opt) {
   CodeWriter w;
+  // Degree >= 3 recoveries call the guarded real-arithmetic solver
+  // helpers; emit them with the function (their include guard keeps a
+  // translation unit holding several collapsed functions well-formed).
+  if (needs_real_solvers(col)) w.out += real_solver_helpers_c();
   w.open(signature(prog, "collapsed"));
   w.line("const long __nrc_total = " +
          print_poly_c(col.ranking().total, {}, /*integer_arith=*/true) + ";");
@@ -291,7 +329,6 @@ std::string emit_verification_program(const NestProgram& prog, const Collapsed& 
   w.line("#include <stdio.h>");
   w.line("#include <stdlib.h>");
   w.line("#include <math.h>");
-  if (needs_complex(col)) w.line("#include <complex.h>");
   w.line("#ifndef M_PI");
   w.line("#define M_PI 3.14159265358979323846");
   w.line("#endif");

@@ -8,7 +8,13 @@
 //   * Chunked      — §V: schedule(static, CHUNK) with one recovery per
 //                    chunk.
 // Degree <= 2 recoveries use plain sqrt/floor (as Fig. 3); degree >= 3
-// use C99 complex csqrt/cpow/creal (as Fig. 7).
+// call emitted guarded real-arithmetic Cardano/Ferrari helpers — the C
+// transliteration of the library's core/real_solvers.hpp
+// (print_c.hpp::real_solver_helpers_c) — so the generated code computes
+// the same estimates as CollapsedEval and never floors a non-finite
+// C99 complex value (the paper's Fig. 7 creal(cpow(...)) form is UB at
+// degenerate points; degeneration now falls back to the exact
+// integer-guard walk instead).
 //
 // emit_verification_program wraps the original and the collapsed
 // function in a main() that runs both on identical inputs and compares

@@ -58,6 +58,23 @@ inline void static_thread_range(i64 total, i64 np, i64 t, i64* lo, i64* cnt) {
   *cnt = base + (t < rem ? 1 : 0);
 }
 
+/// ceil(total / chunk) without forming total + chunk - 1, which wraps
+/// for chunk near the i64 maximum — the naive form made every chunked
+/// scheme compute a non-positive chunk count and silently skip the
+/// whole domain when callers passed a "practically infinite" chunk.
+/// Shared by the scalar, row-segment and simd-block chunked executors.
+inline i64 chunk_count(i64 total, i64 chunk) {
+  return total / chunk + (total % chunk != 0 ? 1 : 0);
+}
+
+/// Last pc of chunk q (0-based) given its first pc `lo`, clipped at
+/// total.  Computed as a bound on the *remaining* range so that
+/// lo + chunk - 1 (and the (q + 1) * chunk it replaces) can never
+/// overflow: lo <= total always holds for a valid chunk start.
+inline i64 chunk_end(i64 total, i64 lo, i64 chunk) {
+  return chunk - 1 <= total - lo ? lo + chunk - 1 : total;
+}
+
 /// Run the contiguous pc range [lo, hi] (1-based, inclusive) with one
 /// costly recovery at lo and row arithmetic afterwards (for_each_row):
 /// the innermost bound is evaluated once per row instead of once per
@@ -127,7 +144,7 @@ void collapsed_for_chunked(const CollapsedEval& cn, i64 chunk, Body&& body,
     return;
   }
   const i64 total = cn.trip_count();
-  const i64 nchunks = (total + chunk - 1) / chunk;
+  const i64 nchunks = detail::chunk_count(total, chunk);
   const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
 #pragma omp parallel num_threads(nt)
   {
@@ -135,7 +152,7 @@ void collapsed_for_chunked(const CollapsedEval& cn, i64 chunk, Body&& body,
     const i64 np = omp_get_num_threads();
     for (i64 q = t; q < nchunks; q += np) {
       const i64 lo = 1 + q * chunk;
-      const i64 hi = std::min<i64>(total, (q + 1) * chunk);
+      const i64 hi = detail::chunk_end(total, lo, chunk);
       detail::run_scalar_range(cn, lo, hi, body);
     }
   }
@@ -152,14 +169,14 @@ void collapsed_for_taskloop(const CollapsedEval& cn, i64 grainsize, Body&& body,
   const i64 total = cn.trip_count();
   const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
   const i64 grain = grainsize > 0 ? grainsize : default_chunk(total, nt);
-  const i64 ntasks = (total + grain - 1) / grain;
+  const i64 ntasks = detail::chunk_count(total, grain);
 #pragma omp parallel num_threads(nt)
 #pragma omp single
   {
 #pragma omp taskloop grainsize(1)
     for (i64 q = 0; q < ntasks; ++q) {
       const i64 lo = 1 + q * grain;
-      const i64 hi = std::min<i64>(total, (q + 1) * grain);
+      const i64 hi = detail::chunk_end(total, lo, grain);
       detail::run_scalar_range(cn, lo, hi, body);
     }
   }

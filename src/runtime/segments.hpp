@@ -66,7 +66,7 @@ void collapsed_for_row_segments_chunked(const CollapsedEval& cn, i64 chunk, SegB
     return;
   }
   const i64 total = cn.trip_count();
-  const i64 nchunks = (total + chunk - 1) / chunk;
+  const i64 nchunks = detail::chunk_count(total, chunk);
   const int nt = threads > 0 ? threads : omp_get_max_threads();
 #pragma omp parallel num_threads(nt)
   {
@@ -74,7 +74,7 @@ void collapsed_for_row_segments_chunked(const CollapsedEval& cn, i64 chunk, SegB
     const i64 np = omp_get_num_threads();
     for (i64 q = t; q < nchunks; q += np) {
       const i64 lo = 1 + q * chunk;
-      const i64 hi = std::min<i64>(total, (q + 1) * chunk);
+      const i64 hi = detail::chunk_end(total, lo, chunk);
       detail::run_segments(cn, lo, hi, body);
     }
   }

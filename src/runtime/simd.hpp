@@ -102,7 +102,7 @@ void collapsed_for_simd_blocks_chunked(const CollapsedEval& cn, int vlen, i64 ch
     return;
   }
   const i64 total = cn.trip_count();
-  const i64 nchunks = (total + chunk - 1) / chunk;
+  const i64 nchunks = detail::chunk_count(total, chunk);
   const i64 ngroups = (nchunks + 3) / 4;
   const int nt = threads > 0 ? threads : omp_get_max_threads();
   const size_t d = static_cast<size_t>(cn.depth());
@@ -124,7 +124,7 @@ void collapsed_for_simd_blocks_chunked(const CollapsedEval& cn, int vlen, i64 ch
       }
       for (i64 b = 0; b < in_group; ++b) {
         const i64 lo = 1 + (q0 + b) * chunk;
-        const i64 hi = std::min<i64>(total, (q0 + b + 1) * chunk);
+        const i64 hi = detail::chunk_end(total, lo, chunk);
         i64 idx[kMaxDepth];
         std::memcpy(idx, seed + b * d, d * sizeof(i64));
         detail::run_lane_blocks_from(cn, {idx, d}, lo, hi, vlen, body);

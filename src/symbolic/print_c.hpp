@@ -35,4 +35,19 @@ std::string print_c(const Expr& e, const CPrintOptions& opt = {});
 std::string print_poly_c(const Polynomial& p, const CPrintOptions& opt = {},
                          bool integer_arith = false);
 
+/// C99 transliteration of the guarded real-arithmetic root estimators in
+/// core/real_solvers.hpp at double precision (`nrc_cardano_re`,
+/// `nrc_cubic_est`, `nrc_ferrari_est`), wrapped in a preprocessor guard
+/// so several emitted functions can share one copy per translation
+/// unit.  The generated code performs exactly the library's operations
+/// in the library's order (magic constants are rendered as hexadecimal
+/// double literals of the library's values), so on the same coefficient
+/// set a compiled helper and cubic_estimate<double, double> /
+/// ferrari_estimate<double, double> return byte-identical estimates —
+/// the codegen round-trip property the executor fuzzer enforces.  The
+/// estimators return 0 on degeneration (non-finite / out-of-range
+/// roots); callers fall back to their demotion guard.  Requires
+/// <math.h>; no C99 complex anywhere.
+std::string real_solver_helpers_c();
+
 }  // namespace nrc

@@ -99,16 +99,63 @@ TEST(Emitter, CollapsedChunkedMirrorsSectionV) {
   EXPECT_NE(src.find("j++;"), std::string::npos);
 }
 
-TEST(Emitter, CubicNestUsesComplexMathLikeFig7) {
+TEST(Emitter, CubicNestUsesGuardedRealSolvers) {
   const NestProgram prog = fig6_prog();
   const Collapsed col = collapse(prog.collapsed_nest());
   const std::string src = emit_collapsed_function(prog, col, {});
-  // Level 0 recovery (degree 3) must go through C99 complex functions.
-  EXPECT_NE(src.find("creal("), std::string::npos) << src;
-  EXPECT_NE(src.find("csqrt("), std::string::npos);
-  EXPECT_NE(src.find("cpow("), std::string::npos);
+  // Level 0 recovery (degree 3) goes through the emitted guarded
+  // real-arithmetic Cardano helper on the integer-scaled level-equation
+  // coefficients — the same formulas and branch the library engine runs
+  // (core/real_solvers.hpp), NOT the paper's Fig. 7 C99 complex
+  // creal(cpow(...)) form, which diverges from the engine at
+  // degenerate/near-discriminant points and floors non-finite values
+  // (undefined behaviour).  Regression for the PR 4 emitter fix: these
+  // assertions fail if the complex emission comes back.
+  EXPECT_NE(src.find("static int nrc_cubic_est("), std::string::npos) << src;
+  EXPECT_NE(src.find("nrc_cardano_re("), std::string::npos);
+  EXPECT_NE(src.find("const double __nrc_A0 = (double)("), std::string::npos) << src;
+  EXPECT_EQ(src.find("creal("), std::string::npos) << src;
+  EXPECT_EQ(src.find("csqrt("), std::string::npos);
+  EXPECT_EQ(src.find("cpow("), std::string::npos);
+  // Degeneration falls back to the level's lower bound, where the exact
+  // integer guard walk takes over (the demotion-guard equivalent).
+  EXPECT_NE(src.find("? __nrc_est : (0);"), std::string::npos) << src;
   // Innermost recovery stays integer.
   EXPECT_NE(src.find("k = (j) + (pc - "), std::string::npos) << src;
+}
+
+TEST(Emitter, QuarticNestUsesGuardedFerrari) {
+  const NestProgram prog = parse_nest_program(R"(
+name s4
+params N
+array double s[N]
+loop i = 0 .. N
+loop j = i .. N
+loop k = j .. N
+loop l = k .. N
+body { s[i] += 1.0; }
+)");
+  const Collapsed col = collapse(prog.collapsed_nest());
+  const std::string src = emit_collapsed_function(prog, col, {});
+  EXPECT_NE(src.find("static int nrc_ferrari_est("), std::string::npos) << src;
+  EXPECT_NE(src.find("nrc_ferrari_est(__nrc_A0, __nrc_A1, __nrc_A2, __nrc_A3, "
+                     "__nrc_A4, "),
+            std::string::npos)
+      << src;
+  EXPECT_EQ(src.find("creal("), std::string::npos) << src;
+  // One copy of the helpers even with several degree >= 3 levels (the
+  // preprocessor guard carries the deduplication).
+  EXPECT_NE(src.find("#ifndef NRC_REAL_SOLVERS_C"), std::string::npos);
+}
+
+TEST(Emitter, QuadraticNestCarriesNoSolverHelpers) {
+  // Degree <= 2 recoveries keep the paper's Fig. 3 sqrt form; the
+  // helper block would be dead weight in the generated source.
+  const NestProgram prog = correlation_prog();
+  const Collapsed col = collapse(prog.collapsed_nest());
+  const std::string src = emit_collapsed_function(prog, col, {});
+  EXPECT_EQ(src.find("nrc_cubic_est"), std::string::npos) << src;
+  EXPECT_EQ(src.find("NRC_REAL_SOLVERS_C"), std::string::npos);
 }
 
 TEST(Emitter, PartialCollapseKeepsInnerLoops) {
@@ -141,12 +188,14 @@ TEST(Emitter, VerificationProgramIsSelfContained) {
   // Two copies of every array.
   EXPECT_NE(src.find("a_ref"), std::string::npos);
   EXPECT_NE(src.find("a_col"), std::string::npos);
-  // complex.h only when needed: the quadratic correlation doesn't.
+  // No C99 complex anywhere since the real-solver emission — degree >= 3
+  // recoveries ship the guarded Cardano/Ferrari helpers instead.
   EXPECT_EQ(src.find("#include <complex.h>"), std::string::npos);
   const NestProgram cubic = fig6_prog();
   const Collapsed col3 = collapse(cubic.collapsed_nest());
-  EXPECT_NE(emit_verification_program(cubic, col3, {}).find("#include <complex.h>"),
-            std::string::npos);
+  const std::string src3 = emit_verification_program(cubic, col3, {});
+  EXPECT_EQ(src3.find("#include <complex.h>"), std::string::npos);
+  EXPECT_NE(src3.find("static int nrc_cubic_est("), std::string::npos);
 }
 
 TEST(Emitter, ThrowsWhenClosedFormMissing) {

@@ -4,12 +4,17 @@
 // source-to-source tool pipeline.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "codegen/c_emitter.hpp"
+#include "core/real_solvers.hpp"
+#include "symbolic/print_c.hpp"
 
 namespace nrc {
 namespace {
@@ -180,6 +185,132 @@ body {
   opt.chunk = 32;
   EXPECT_EQ(compile_and_run(emit_verification_program(prog, col, opt), "shifted", "21"),
             0);
+}
+
+/// Hexadecimal double literal — bit-exact through the C parser.
+std::string hexd(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// The emitted guarded real solvers must return byte-identical
+/// (ok, estimate) pairs to the library's double-precision
+/// cubic_estimate / ferrari_estimate on every branch of every
+/// coefficient set — the codegen/engine contract the PR 3 emitter
+/// violated by printing the C99 complex creal(cpow(...)) estimate
+/// instead.  The sets are PR 3's Ferrari edge-case families
+/// (biquadratic / repeated / near-discriminant / clustered /
+/// degenerate-leading) plus seeded random quartics and cubics across
+/// three magnitude regimes; all 12 Ferrari branches and all 3 Cardano
+/// branches run for each.  Fails when the emitter's solver
+/// transliteration drifts from core/real_solvers.hpp in any operation,
+/// ordering, or constant.
+TEST_F(IntegrationCompile, EmittedRealSolversByteIdenticalOn12BranchFamilies) {
+  std::vector<std::array<double, 5>> quartics = {
+      {4, 0, -5, 0, 1},          // biquadratic (x^2-1)(x^2-4): w = 0 resolvent root
+      {36, -12, -11, 2, 1},      // repeated roots (x-2)^2 (x+3)^2: zero discriminant
+      {35, -12, -11, 2, 1},      // near-zero resolvent discriminant (low side)
+      {37, -12, -11, 2, 1},      // near-zero resolvent discriminant (high side)
+      {-392, -231, 139, -21, 1}, // clustered real roots 7, 7, 8, -1
+      {1, 2, 3, 4, 0},           // degenerate leading coefficient: never estimates
+  };
+  std::vector<std::array<double, 4>> cubics = {
+      {0, 0, 0, 1},  // triple root at 0
+      {-6, 11, -6, 1},
+  };
+  std::mt19937_64 rng(20260726);
+  for (int iter = 0; iter < 60; ++iter) {
+    const i64 m = iter % 3 == 0 ? 9 : iter % 3 == 1 ? 1000 : 2000000;
+    std::array<double, 5> A;
+    for (auto& a : A)
+      a = static_cast<double>(static_cast<i64>(rng() % static_cast<u64>(2 * m + 1)) - m);
+    if (A[4] == 0) A[4] = 1;
+    if (iter % 7 == 0) A[3] = A[1] = 0;  // biquadratic slice
+    quartics.push_back(A);
+    std::array<double, 4> C;
+    for (auto& c : C)
+      c = static_cast<double>(static_cast<i64>(rng() % static_cast<u64>(2 * m + 1)) - m);
+    if (C[3] == 0) C[3] = 1;
+    cubics.push_back(C);
+  }
+
+  // Library side: the double-precision instantiations the lane engines
+  // (and now the emitted C) run.
+  std::string expect;
+  char line[64];
+  for (const auto& A : quartics) {
+    for (int br = 0; br < 12; ++br) {
+      i64 est = -777;
+      const bool ok = ferrari_estimate<double>(A.data(), br, &est);
+      std::snprintf(line, sizeof(line), "%d %lld\n", ok ? 1 : 0,
+                    static_cast<long long>(ok ? est : -777));
+      expect += line;
+    }
+  }
+  for (const auto& C : cubics) {
+    for (int br = 0; br < 3; ++br) {
+      i64 est = -777;
+      const bool ok = cubic_estimate<double>(C.data(), br, &est);
+      std::snprintf(line, sizeof(line), "%d %lld\n", ok ? 1 : 0,
+                    static_cast<long long>(ok ? est : -777));
+      expect += line;
+    }
+  }
+
+  // Emitted side: the helpers verbatim as the emitter ships them, driven
+  // over the same sets (embedded as hex-float literals, bit-exact).
+  std::string src;
+  src += "#include <stdio.h>\n#include <math.h>\n";
+  src += real_solver_helpers_c();
+  src += "int main(void) {\n";
+  src += "  static const double Q[][5] = {\n";
+  for (const auto& A : quartics) {
+    src += "    {";
+    for (int e = 0; e < 5; ++e) src += (e ? ", " : "") + hexd(A[static_cast<size_t>(e)]);
+    src += "},\n";
+  }
+  src += "  };\n";
+  src += "  static const double C[][4] = {\n";
+  for (const auto& Cc : cubics) {
+    src += "    {";
+    for (int e = 0; e < 4; ++e) src += (e ? ", " : "") + hexd(Cc[static_cast<size_t>(e)]);
+    src += "},\n";
+  }
+  src += "  };\n";
+  src += "  for (unsigned i = 0; i < sizeof(Q) / sizeof(Q[0]); i++)\n";
+  src += "    for (int br = 0; br < 12; br++) {\n";
+  src += "      long est = -777;\n";
+  src += "      int ok = nrc_ferrari_est(Q[i][0], Q[i][1], Q[i][2], Q[i][3], Q[i][4],\n";
+  src += "                               br, &est);\n";
+  src += "      printf(\"%d %ld\\n\", ok, ok ? est : -777);\n";
+  src += "    }\n";
+  src += "  for (unsigned i = 0; i < sizeof(C) / sizeof(C[0]); i++)\n";
+  src += "    for (int br = 0; br < 3; br++) {\n";
+  src += "      long est = -777;\n";
+  src += "      int ok = nrc_cubic_est(C[i][0], C[i][1], C[i][2], C[i][3], br, &est);\n";
+  src += "      printf(\"%d %ld\\n\", ok, ok ? est : -777);\n";
+  src += "    }\n";
+  src += "  return 0;\n}\n";
+
+  const std::string dir = ::testing::TempDir();
+  const std::string c_path = dir + "/nrc_solver_bid.c";
+  const std::string bin_path = dir + "/nrc_solver_bid.bin";
+  const std::string out_path = dir + "/nrc_solver_bid.out";
+  {
+    std::ofstream out(c_path);
+    out << src;
+  }
+  ASSERT_EQ(std::system(("cc -std=c99 -O2 -o " + bin_path + " " + c_path + " -lm 2>" +
+                         dir + "/nrc_solver_bid.log")
+                            .c_str()),
+            0)
+      << src;
+  ASSERT_EQ(std::system((bin_path + " > " + out_path).c_str()), 0);
+  std::ifstream f(out_path);
+  const std::string got{std::istreambuf_iterator<char>(f),
+                        std::istreambuf_iterator<char>()};
+  EXPECT_EQ(got, expect);
 }
 
 TEST_F(IntegrationCompile, RhomboidalShape) {

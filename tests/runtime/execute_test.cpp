@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <mutex>
 #include <set>
 
 #include "../test_util.hpp"
+#include "runtime/segments.hpp"
+#include "runtime/simd.hpp"
+#include "runtime/warp.hpp"
 
 namespace nrc {
 namespace {
@@ -150,6 +154,87 @@ TEST(ExecuteSchemes, EmptyWorkIsSafe) {
   std::atomic<int> count{0};
   collapsed_for_per_thread(cn, [&](std::span<const i64>) { ++count; }, {8});
   EXPECT_EQ(count.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Integer edge cases surfaced by the executor fuzzer (PR 4).
+
+constexpr i64 kI64Max = std::numeric_limits<i64>::max();
+
+TEST(ExecuteSchemes, ChunkCountOverflowNearI64MaxStillCoversDomain) {
+  // (total + chunk - 1) / chunk wraps for chunk near the i64 maximum,
+  // making the chunk count non-positive — the pre-fix executor then
+  // visited ZERO iterations without any error, the worst possible
+  // failure mode for a "practically infinite chunk" caller.
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const CollapsedEval cn = col.bind({{"N", 12}});
+  for (const i64 chunk : {kI64Max, kI64Max - 1, kI64Max / 2}) {
+    std::atomic<i64> count{0};
+    collapsed_for_chunked(cn, chunk, [&](std::span<const i64>) { ++count; }, {4});
+    EXPECT_EQ(count.load(), cn.trip_count()) << "chunk=" << chunk;
+  }
+}
+
+TEST(ExecuteSchemes, TaskloopGrainOverflowNearI64MaxStillCoversDomain) {
+  // Same wrap through the taskloop's task count.
+  const Collapsed col = collapse(testutil::triangular_lower());
+  const CollapsedEval cn = col.bind({{"N", 10}});
+  for (const i64 grain : {kI64Max, kI64Max - 1}) {
+    std::atomic<i64> count{0};
+    collapsed_for_taskloop(cn, grain, [&](std::span<const i64>) { ++count; }, {4});
+    EXPECT_EQ(count.load(), cn.trip_count()) << "grain=" << grain;
+  }
+}
+
+TEST(ExecuteSchemes, ChunkLargerThanTotalIsOneFullChunk) {
+  // chunk > total must degrade to a single chunk covering the whole
+  // range (and (q + 1) * chunk may never be formed: it overflows long
+  // before the chunk count does).
+  const Collapsed col = collapse(testutil::tetrahedral_fig6());
+  const ParamMap p{{"N", 9}};
+  const CollapsedEval cn = col.bind(p);
+  for (const i64 chunk : {cn.trip_count() + 1, 2 * cn.trip_count(), kI64Max / 3}) {
+    VisitCollector vc(cn.depth());
+    collapsed_for_chunked(cn, chunk, vc.body(), {3});
+    vc.expect_matches(testutil::tetrahedral_fig6(), p);
+  }
+}
+
+TEST(ExecuteSchemes, SinglePointDomainSafeAcrossAllSchemes) {
+  // The smallest domain bind() admits (trip_count() == 0 is
+  // unrepresentable: bind() rejects empty domains, which the recovery
+  // fuzzer asserts) must flow through every scheme exactly once —
+  // including the chunked/taskloop/simd/warp parameter extremes.
+  NestSpec n;
+  n.param("N").loop("i", aff::c(0), aff::v("N")).loop("j", aff::v("i"), aff::v("N"));
+  const Collapsed col = collapse(n);
+  const CollapsedEval cn = col.bind({{"N", 1}});
+  ASSERT_EQ(cn.trip_count(), 1);
+  const auto ref = testutil::odometer_reference(cn);
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_per_iteration(cn, visit, OmpSchedule::Static, {7});
+  })) << "per_iteration";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_per_thread(cn, visit, {7});
+  })) << "per_thread";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_chunked(cn, kI64Max, visit, {7});
+  })) << "chunked";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_taskloop(cn, kI64Max, visit, {7});
+  })) << "taskloop";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_row_segments(cn, testutil::segment_adapter(cn, visit), 7);
+  })) << "row_segments";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_simd_blocks(cn, 8, testutil::block_adapter(cn, visit), 7);
+  })) << "simd_blocks";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_for_warp_sim(cn, 64, visit, 7);
+  })) << "warp_sim";
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    collapsed_serial_sim(cn, 1000, visit);
+  })) << "serial_sim";
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <mutex>
 
 #include "../test_util.hpp"
@@ -153,6 +154,30 @@ TEST(Segments, SegmentSumMatchesElementwiseSum) {
       },
       6);
   EXPECT_EQ(static_cast<double>(got), static_cast<double>(expect));
+}
+
+
+TEST(RowSegmentsChunked, ChunkCountOverflowNearI64MaxStillCoversDomain) {
+  // (total + chunk - 1) / chunk wraps for chunk near the i64 maximum;
+  // the pre-fix executor computed a non-positive chunk count and
+  // visited ZERO segments silently (executor fuzzer regression, PR 4).
+  const NestSpec nest = testutil::triangular_strict();
+  const Collapsed col = collapse(nest);
+  const ParamMap p{{"N", 13}};
+  const CollapsedEval cn = col.bind(p);
+  for (const i64 chunk :
+       {std::numeric_limits<i64>::max(), std::numeric_limits<i64>::max() - 1}) {
+    std::mutex mu;
+    std::vector<Segment> segs;
+    collapsed_for_row_segments_chunked(
+        cn, chunk,
+        [&](std::span<const i64> prefix, i64 j0, i64 j1) {
+          std::lock_guard<std::mutex> lock(mu);
+          segs.push_back({{prefix.begin(), prefix.end()}, j0, j1});
+        },
+        4);
+    expect_covers(segs, nest, p);
+  }
 }
 
 }  // namespace

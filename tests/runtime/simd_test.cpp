@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <string>
@@ -157,6 +158,35 @@ TEST(SimdBlocks, ComputesSameSumAsSerial) {
       },
       4);
   EXPECT_EQ(static_cast<double>(got), static_cast<double>(expect));
+}
+
+
+TEST(SimdBlocksChunked, ChunkCountOverflowNearI64MaxStillCoversDomain) {
+  // Same i64 wrap as the scalar chunked scheme, through the lane-block
+  // executor's group math (executor fuzzer regression, PR 4).
+  const Collapsed col = collapse(testutil::triangular_lower());
+  const CollapsedEval cn = col.bind({{"N", 11}});
+  const size_t d = static_cast<size_t>(cn.depth());
+  for (const i64 chunk :
+       {std::numeric_limits<i64>::max(), std::numeric_limits<i64>::max() - 1}) {
+    std::mutex mu;
+    std::multiset<std::vector<i64>> seen;
+    collapsed_for_simd_blocks_chunked(
+        cn, 4, chunk,
+        [&](int lanes, const i64* const* cols) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (int l = 0; l < lanes; ++l) {
+            std::vector<i64> t(d);
+            for (size_t k = 0; k < d; ++k) t[k] = cols[k][l];
+            seen.insert(std::move(t));
+          }
+        },
+        4);
+    EXPECT_EQ(static_cast<i64>(seen.size()), cn.trip_count()) << "chunk=" << chunk;
+    EXPECT_EQ(static_cast<i64>(std::set<std::vector<i64>>(seen.begin(), seen.end()).size()),
+              cn.trip_count())
+        << "duplicated lanes, chunk=" << chunk;
+  }
 }
 
 }  // namespace

@@ -1,10 +1,17 @@
 #pragma once
 // Shared helpers for the nrcollapse test suite: the menagerie of nest
-// shapes the property tests sweep over, and the seeded random nest
+// shapes the property tests sweep over, the seeded random nest
 // generator behind the randomized differential fuzzer
-// (tests/core/differential_fuzz_test.cpp).
+// (tests/core/differential_fuzz_test.cpp), and the scheme-differential
+// harness the executor fuzzer drives every collapsed_for_* scheme
+// through (tests/runtime/executor_fuzz_test.cpp).
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <mutex>
 #include <random>
 #include <string>
 #include <vector>
@@ -467,6 +474,164 @@ inline std::vector<i64> fuzz_bind_values(const FuzzNest& fc) {
   std::vector<i64> out{1, 2 + static_cast<i64>(rng() % (kFuzzMaxN - 1))};
   if (out[1] != kFuzzMaxN) out.push_back(kFuzzMaxN);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheme-differential harness (tests/runtime/executor_fuzz_test.cpp).
+//
+// Every execution scheme must visit exactly the original nest's
+// iteration multiset — the fundamental safety property of the
+// transformation, checked here as (a) the visit count, (b) an
+// order-insensitive checksum (a commutative sum of per-tuple mixes, so
+// any thread interleaving accumulates the same value), and, on domains
+// small enough to afford it, (c) the exact tuple multiset.  The
+// reference is the sequential odometer walk — recover(1) plus
+// increment(), the executable ground truth every recovery engine is
+// already differentially fuzzed against.
+
+/// Order-sensitive mix of one index tuple (splitmix64 per slot, chained
+/// so (1, 2) and (2, 1) mix differently).  The codegen round trip
+/// re-implements this exact function in emitted C — keep them in sync.
+inline u64 tuple_mix(std::span<const i64> idx) {
+  u64 h = 0x243f6a8885a308d3ULL ^ (0x9e3779b97f4a7c15ULL * idx.size());
+  for (const i64 v : idx) {
+    u64 x = static_cast<u64>(v) + 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    h = (h ^ x) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// What one executor run visited, in order-insensitive form.
+struct DomainObservation {
+  i64 visits = 0;
+  u64 checksum = 0;  ///< sum of tuple_mix over all visits (mod 2^64)
+  bool track_tuples = false;
+  std::map<std::vector<i64>, i64> tuples;  ///< multiset, when tracked
+};
+
+/// Sequential odometer reference for a bound domain.  Domains up to
+/// `multiset_cap` iterations also record the exact tuple multiset so a
+/// divergence names the first missing/duplicated tuple instead of just
+/// a checksum mismatch.
+inline DomainObservation odometer_reference(const CollapsedEval& cn,
+                                            i64 multiset_cap = 4000) {
+  DomainObservation ref;
+  const i64 total = cn.trip_count();
+  ref.track_tuples = total <= multiset_cap;
+  const size_t d = static_cast<size_t>(cn.depth());
+  i64 idx[kMaxDepth];
+  cn.recover(1, {idx, d});
+  for (i64 pc = 1; pc <= total; ++pc) {
+    const std::span<const i64> t(idx, d);
+    ++ref.visits;
+    ref.checksum += tuple_mix(t);
+    if (ref.track_tuples) ++ref.tuples[std::vector<i64>(t.begin(), t.end())];
+    if (pc < total) cn.increment({idx, d});
+  }
+  return ref;
+}
+
+/// Thread-safe visit collector handed to the scheme under test.
+class SchemeCollector {
+ public:
+  explicit SchemeCollector(bool track_tuples) { obs_.track_tuples = track_tuples; }
+
+  void visit(std::span<const i64> idx) {
+    const u64 h = tuple_mix(idx);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++obs_.visits;
+    obs_.checksum += h;
+    if (obs_.track_tuples) ++obs_.tuples[std::vector<i64>(idx.begin(), idx.end())];
+  }
+
+  /// Compare against the reference; the failure message names the first
+  /// divergent tuple when the multiset was tracked.
+  ::testing::AssertionResult compare(const DomainObservation& ref) const {
+    if (obs_.visits == ref.visits && obs_.checksum == ref.checksum &&
+        (!ref.track_tuples || obs_.tuples == ref.tuples))
+      return ::testing::AssertionSuccess();
+    auto out = ::testing::AssertionFailure();
+    out << "visited " << obs_.visits << " of " << ref.visits
+        << " iterations, checksum " << obs_.checksum << " vs " << ref.checksum;
+    if (ref.track_tuples) {
+      for (const auto& [t, n] : ref.tuples) {
+        auto it = obs_.tuples.find(t);
+        const i64 got = it == obs_.tuples.end() ? 0 : it->second;
+        if (got != n) {
+          out << "; first divergent tuple (";
+          for (size_t q = 0; q < t.size(); ++q) out << (q ? "," : "") << t[q];
+          out << ") visited " << got << "x instead of " << n << "x";
+          break;
+        }
+      }
+      for (const auto& [t, n] : obs_.tuples) {
+        if (!ref.tuples.count(t)) {
+          out << "; visited tuple outside the domain (";
+          for (size_t q = 0; q < t.size(); ++q) out << (q ? "," : "") << t[q];
+          out << ") " << n << "x";
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  DomainObservation obs_;
+};
+
+/// Run one scheme through the differential check: `run` receives a
+/// thread-safe `void(std::span<const i64>)` visitor, executes the
+/// scheme with it as the body (adapting segment/block/lane body shapes
+/// as needed), and the visited multiset/checksum is compared against
+/// the odometer reference.  Usage:
+///   EXPECT_TRUE(run_scheme_differential(cn, ref, [&](auto&& visit) {
+///     collapsed_for_chunked(cn, chunk, visit, {threads});
+///   })) << repro << " scheme=chunked";
+template <class RunScheme>
+::testing::AssertionResult run_scheme_differential(const CollapsedEval& cn,
+                                                   const DomainObservation& ref,
+                                                   RunScheme&& run) {
+  SchemeCollector col(ref.track_tuples);
+  run([&col](std::span<const i64> idx) { col.visit(idx); });
+  (void)cn;
+  return col.compare(ref);
+}
+
+/// Adapt the row-segment body contract (outer prefix + innermost range
+/// [j_begin, j_end)) to a whole-tuple visitor.  `visit` is captured by
+/// reference and must outlive the returned closure.
+template <class Visit>
+auto segment_adapter(const CollapsedEval& cn, Visit& visit) {
+  return [&cn, &visit](std::span<const i64> prefix, i64 j_begin, i64 j_end) {
+    i64 t[kMaxDepth];
+    std::copy(prefix.begin(), prefix.end(), t);
+    const size_t d = static_cast<size_t>(cn.depth());
+    for (i64 j = j_begin; j < j_end; ++j) {
+      t[d - 1] = j;
+      visit(std::span<const i64>(t, d));
+    }
+  };
+}
+
+/// Adapt the SoA lane-block body contract (lanes, cols[k][lane]) to a
+/// whole-tuple visitor.  Same lifetime contract as segment_adapter.
+template <class Visit>
+auto block_adapter(const CollapsedEval& cn, Visit& visit) {
+  return [&cn, &visit](int lanes, const i64* const* cols) {
+    const size_t d = static_cast<size_t>(cn.depth());
+    i64 t[kMaxDepth];
+    for (int l = 0; l < lanes; ++l) {
+      for (size_t k = 0; k < d; ++k) t[k] = cols[k][static_cast<size_t>(l)];
+      visit(std::span<const i64>(t, d));
+    }
+  };
 }
 
 }  // namespace nrc::testutil
