@@ -30,7 +30,10 @@
 // itself 2-3x faster), or when
 // the guarded real-arithmetic Ferrari falls below 2.5x over the PR 2
 // quartic path (bytecode program + checked-i128 scalar guards) on the
-// quartic nests' block64 workload.
+// quartic nests' block64 workload, or when a plan-cache hit is not at
+// least 10x cheaper than a cold collapse+bind (the pipeline's
+// analyze-once contract: repeated domains must skip symbolic build and
+// bind entirely).
 
 #include <omp.h>
 
@@ -138,6 +141,8 @@ int main(int argc, char** argv) {
     int depth = 0;
     double interp = 0, engine = 0, block = 0, simd = 0, batch4 = 0, search = 0,
            newton = 0;
+    double bind_cold = 0;    ///< ns per cold CollapsePlan::build (collapse+bind)
+    double bind_cached = 0;  ///< ns per plan_cache().get hit on the same key
     double qblock = 0;  ///< block64 through the PR 2 quartic path (bytecode
                         ///< program + checked-i128 scalar guards); 0 when the
                         ///< nest has no quartic level
@@ -231,6 +236,24 @@ int main(int argc, char** argv) {
         }
       });
     }
+    // Plan-cache economics: a cold build pays collapse() + bind(); a hit
+    // pays one sharded lookup.  The enforced >= 10x floor below is the
+    // pipeline's analyze-once contract.
+    constexpr i64 kBinds = 200;
+    row.bind_cold = time_ns_per(kBinds, trials, [&] {
+      for (i64 q = 0; q < kBinds; ++q) {
+        const auto plan = CollapsePlan::build(bn.nest, bn.params);
+        sink += plan->eval().trip_count();
+      }
+    });
+    PlanCache cache(8, 4);
+    (void)cache.get(bn.nest, bn.params);  // prime: every timed get is a hit
+    row.bind_cached = time_ns_per(kBinds, trials, [&] {
+      for (i64 q = 0; q < kBinds; ++q) {
+        const auto plan = cache.get(bn.nest, bn.params);
+        sink += plan->eval().trip_count();
+      }
+    });
     row.search = time_ns_per(static_cast<i64>(nprobes), trials, [&] {
       for (const i64 pc : pcs) {
         cn.recover_search(pc, {idx, d});
@@ -251,24 +274,26 @@ int main(int argc, char** argv) {
   std::printf(
       "== recovery_ns: ns per recovered iteration (best of %d trials, simd_abi=%s) ==\n\n",
       trials, simd::abi_name());
-  std::printf("%-13s %5s %11s | %11s %11s %11s %11s %11s %11s %11s %11s | %8s %8s %8s\n",
+  std::printf("%-13s %5s %11s | %11s %11s %11s %11s %11s %11s %11s %11s | %10s %10s | %8s %8s %8s %8s\n",
               "nest", "depth", "trip", "interp[ns]", "engine[ns]", "block64", "simd64",
-              "batch4[ns]", "search[ns]", "newton[ns]", "qblock64", "eng-spdup",
-              "simd-spdup", "q-spdup");
-  bench::rule(160);
+              "batch4[ns]", "search[ns]", "newton[ns]", "qblock64", "bind-cold",
+              "bind-hit", "eng-spdup", "simd-spdup", "q-spdup", "bindspdup");
+  bench::rule(190);
   bool gate_ok = true;
   bool simd_ok = true;
   bool quartic_ok = true;
+  bool bind_ok = true;
   for (const Row& r : rows) {
     const double speedup = r.interp / r.engine;
     const double simd_speedup = r.block / r.simd;
     const double q_speedup = r.qblock > 0 ? r.qblock / r.block : 0.0;
+    const double bind_speedup = r.bind_cached > 0 ? r.bind_cold / r.bind_cached : 0.0;
     std::printf(
         "%-13s %5d %11lld | %11.1f %11.1f %11.2f %11.2f %11.1f %11.1f %11.1f %11.2f | "
-        "%7.2fx %7.2fx %7.2fx\n",
+        "%10.0f %10.0f | %7.2fx %7.2fx %7.2fx %7.1fx\n",
         r.name.c_str(), r.depth, static_cast<long long>(r.trip), r.interp, r.engine,
-        r.block, r.simd, r.batch4, r.search, r.newton, r.qblock, speedup, simd_speedup,
-        q_speedup);
+        r.block, r.simd, r.batch4, r.search, r.newton, r.qblock, r.bind_cold,
+        r.bind_cached, speedup, simd_speedup, q_speedup, bind_speedup);
     if (r.gate && speedup < 2.5) gate_ok = false;
     // The simd64 floor was 2x against PR 2's scalar block path; PR 3's
     // scalar engine adopted the proven-f64 guards and the Ferrari, making
@@ -277,8 +302,11 @@ int main(int argc, char** argv) {
     // row fills both paths share) is re-floored against the new baseline.
     if (r.gate_simd && avx2 && simd_speedup < 1.2) simd_ok = false;
     if (r.gate_quartic && q_speedup < 2.5) quartic_ok = false;
+    // Every nest gates the plan-cache floor: a hit must be >= 10x
+    // cheaper than the cold collapse+bind it replaces.
+    if (bind_speedup < 10.0) bind_ok = false;
   }
-  bench::rule(160);
+  bench::rule(190);
   std::printf(
       "eng-spdup = interpreter / engine (full closed-form recovery).  block64 is\n"
       "recover_block amortized over 64 consecutive pcs — the per-iteration cost the\n"
@@ -287,7 +315,10 @@ int main(int argc, char** argv) {
       "ratio.  batch4 is recover4 per recovered tuple (one formula solve per lane).\n"
       "qblock64 is block64 through the PR 2 quartic path (bytecode program +\n"
       "checked-i128 scalar guards); q-spdup = qblock64 / block64, the guarded\n"
-      "Ferrari's enforced >= 2.5x floor on the quartic nests.\n");
+      "Ferrari's enforced >= 2.5x floor on the quartic nests.  bind-cold is ns per\n"
+      "cold CollapsePlan::build (collapse+bind), bind-hit ns per plan_cache().get\n"
+      "hit on the same key; bindspdup = bind-cold / bind-hit, enforced >= 10x on\n"
+      "every nest.\n");
 
   const std::string out_path = args.out.empty() ? "BENCH_recovery.json" : args.out;
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
@@ -303,15 +334,18 @@ int main(int argc, char** argv) {
                    "\"schemes\": {\"interpreter\": %.2f, \"engine\": %.2f, "
                    "\"block64\": %.3f, \"simd64\": %.3f, \"batch4\": %.2f, "
                    "\"search\": %.2f, \"newton\": %.2f, \"quartic_block64\": %.3f}, "
+                   "\"bind\": {\"cold_ns\": %.1f, \"cached_ns\": %.1f}, "
                    "\"speedup_engine_vs_interpreter\": %.3f, "
                    "\"speedup_simd64_vs_block64\": %.3f, "
-                   "\"speedup_ferrari_vs_bytecode\": %.3f}%s\n",
+                   "\"speedup_ferrari_vs_bytecode\": %.3f, "
+                   "\"speedup_bind_cached_vs_cold\": %.2f}%s\n",
                    r.name.c_str(), r.depth, static_cast<long long>(r.trip),
                    r.gate ? "true" : "false", r.gate_simd ? "true" : "false",
                    r.gate_quartic ? "true" : "false",
                    r.interp, r.engine, r.block, r.simd, r.batch4, r.search, r.newton,
-                   r.qblock, r.interp / r.engine, r.block / r.simd,
-                   r.qblock > 0 ? r.qblock / r.block : 0.0,
+                   r.qblock, r.bind_cold, r.bind_cached, r.interp / r.engine,
+                   r.block / r.simd, r.qblock > 0 ? r.qblock / r.block : 0.0,
+                   r.bind_cached > 0 ? r.bind_cold / r.bind_cached : 0.0,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -335,6 +369,12 @@ int main(int argc, char** argv) {
     std::printf(
         "FAIL: guarded Ferrari below the enforced 2.5x floor over the PR 2 bytecode "
         "path on a quartic nest\n");
+    rc = 1;
+  }
+  if (!bind_ok) {
+    std::printf(
+        "FAIL: plan-cache hit below the enforced 10x floor over a cold "
+        "collapse+bind\n");
     rc = 1;
   }
   return rc;

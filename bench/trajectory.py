@@ -29,6 +29,7 @@ SIMD_FLOOR = 1.2        # enforced simd64-vs-block64 floor (avx2 builds;
                         # re-floored in PR 3 when the scalar block path
                         # adopted the f64 guards and the Ferrari)
 QUARTIC_FLOOR = 2.5     # enforced ferrari-vs-bytecode floor (quartic nests)
+BIND_FLOOR = 10.0       # enforced plan-cache-hit vs cold collapse+bind floor
 
 
 def load_json(path, default):
@@ -68,6 +69,7 @@ def main():
     }
     for nest in current["nests"]:
         schemes = nest.get("schemes", {})
+        bind = nest.get("bind", {})
         entry["nests"][nest["name"]] = {
             "interpreter": schemes.get("interpreter"),
             "engine": schemes.get("engine"),
@@ -75,9 +77,12 @@ def main():
             "simd64": schemes.get("simd64"),
             "batch4": schemes.get("batch4"),
             "quartic_block64": schemes.get("quartic_block64"),
+            "bind_cold_ns": bind.get("cold_ns"),
+            "bind_cached_ns": bind.get("cached_ns"),
             "speedup_engine": nest.get("speedup_engine_vs_interpreter"),
             "speedup_simd": nest.get("speedup_simd64_vs_block64"),
             "speedup_quartic": nest.get("speedup_ferrari_vs_bytecode"),
+            "speedup_bind": nest.get("speedup_bind_cached_vs_cold"),
             "gate": bool(nest.get("gate", False)),
             "gate_simd": bool(nest.get("gate_simd", False)),
             "gate_quartic": bool(nest.get("gate_quartic", False)),
@@ -122,12 +127,13 @@ def main():
         f"ns/iteration engine speedups per run (floors: engine ≥{ENGINE_FLOOR}x "
         f"vs interpreter, simd64 ≥{SIMD_FLOOR}x vs block64 on avx2 builds, "
         f"ferrari ≥{QUARTIC_FLOOR}x vs the PR 2 bytecode path on quartic "
-        "nests; enforced by bench_recovery_ns).",
+        f"nests, plan-cache bind hit ≥{BIND_FLOOR:.0f}x vs a cold "
+        "collapse+bind on every nest; enforced by bench_recovery_ns).",
         "",
         "| run | sha | abi | "
-        + " | ".join(f"{n} eng | {n} simd | {n} q4" for n in nest_names)
+        + " | ".join(f"{n} eng | {n} simd | {n} q4 | {n} bind" for n in nest_names)
         + " |",
-        "|" + "---|" * (3 + 3 * len(nest_names)),
+        "|" + "---|" * (3 + 4 * len(nest_names)),
     ]
     for r in runs[-MD_ROWS:]:
         cells = [str(r.get("run", "?")), str(r.get("sha", "?")),
@@ -144,6 +150,8 @@ def main():
             q = d.get("speedup_quartic")
             cells.append(fmt(q if q else None,
                              QUARTIC_FLOOR if d.get("gate_quartic") else None))
+            b = d.get("speedup_bind")
+            cells.append(fmt(b if b else None, BIND_FLOOR if b else None))
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
     latest = runs[-1]["nests"]

@@ -57,17 +57,15 @@ int main(int argc, char** argv) {
     if (arg.rfind("--emit=", 0) == 0) {
       emit = arg.substr(7);
     } else if (arg == "--style=thread") {
-      opt.style = RecoveryStyle::PerThread;
+      opt.schedule = Schedule::per_thread();
     } else if (arg == "--style=iteration") {
-      opt.style = RecoveryStyle::PerIteration;
+      opt.schedule = Schedule::per_iteration();
     } else if (arg.rfind("--style=chunk=", 0) == 0) {
-      opt.style = RecoveryStyle::Chunked;
-      opt.chunk = std::atoll(arg.c_str() + 14);
-      if (opt.chunk <= 0) usage(2);
+      opt.schedule = Schedule::chunked(std::atoll(arg.c_str() + 14));
+      if (opt.schedule.chunk <= 0) usage(2);
     } else if (arg.rfind("--style=simd=", 0) == 0) {
-      opt.style = RecoveryStyle::SimdBlocks;
-      opt.vlen = std::atoi(arg.c_str() + 13);
-      if (opt.vlen <= 0) usage(2);
+      opt.schedule = Schedule::simd_blocks(std::atoi(arg.c_str() + 13));
+      if (opt.schedule.vlen <= 0) usage(2);
     } else if (arg == "--cfor") {
       cfor = true;
     } else if (arg == "--help" || arg == "-h") {

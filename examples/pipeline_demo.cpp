@@ -1,0 +1,75 @@
+// pipeline_demo — the unified "collapse once, run anywhere" pipeline,
+// end to end:
+//
+//   1. parse a non-rectangular nest straight from C source
+//      (parse_c_for_nest: the paper's surface syntax, §II),
+//   2. obtain a CollapsePlan from the process-global plan cache —
+//      the symbolic collapse and the parameter bind both run at most
+//      once per (nest, params); repeated domains are pure cache hits,
+//   3. let Schedule::auto_select pick an execution scheme from the
+//      bound domain's shape (depth, trip count, solver kinds),
+//   4. execute through the one dispatcher, nrc::run(plan, schedule,
+//      body) — the same descriptor could equally drive the C emitter.
+//
+// Usage: pipeline_demo [N]   (default 600)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nrcollapse.hpp"
+
+using namespace nrc;
+
+int main(int argc, char** argv) {
+  const i64 N = argc > 1 ? std::atoll(argv[1]) : 600;
+
+  // 1. The paper's Fig. 1 shape, written as the C source it came from.
+  const char* source = R"(
+#pragma omp parallel for collapse(2)
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++) {
+    /* body */
+  }
+)";
+  const NestProgram prog = parse_c_for_nest(source);
+  std::printf("parsed nest:\n%s\n", prog.nest.str().c_str());
+
+  // 2. Plans come from the global cache: the first get builds
+  //    (collapse + bind), every further get for the same domain is a
+  //    lookup; a different N on the same nest reuses the symbolic half.
+  auto plan = plan_cache().get(prog.nest, {{"N", N}});
+  plan = plan_cache().get(prog.nest, {{"N", N}});  // pure hit
+  const auto warm = plan_cache().get(prog.nest, {{"N", N / 2 + 2}});  // symbolic hit
+  (void)warm;
+
+  // 3. One schedule choice drives everything downstream.
+  const Schedule schedule = plan->auto_schedule();
+
+  // 4. Execute.  The body sees the original indices; here it folds them
+  //    into a checksum so the work is observable.
+  u64 checksum = 0;
+  run(*plan, schedule, [&](std::span<const i64> ij) {
+    const u64 mix = static_cast<u64>(ij[0]) * 0x9e3779b97f4a7c15ULL ^
+                    static_cast<u64>(ij[1]);
+#pragma omp atomic
+    checksum += mix;
+  });
+
+  std::printf("%s", plan->describe().c_str());
+  std::printf("ran %lld iterations under %s, checksum %llu\n",
+              static_cast<long long>(plan->eval().trip_count()),
+              schedule.describe().c_str(),
+              static_cast<unsigned long long>(checksum));
+
+  // The same Schedule descriptor feeds the C emitter: runtime execution
+  // and generated code share one source of truth.
+  EmitOptions emit;
+  emit.schedule = schedule;
+  NestProgram emittable = prog;
+  emittable.name = "demo";
+  emittable.body = "/* body */;";
+  std::printf("\ngenerated C (%s style):\n%s",
+              schedule.describe().c_str(),
+              emit_collapsed_function(emittable, plan->collapsed(), emit).c_str());
+  return 0;
+}

@@ -213,6 +213,46 @@ std::string private_clause(const Collapsed& col) {
 
 }  // namespace
 
+RecoveryStyle emission_style(const Schedule& s) {
+  switch (s.scheme) {
+    case Scheme::PerIteration:
+    case Scheme::WarpSim:  // coalesced consecutive-iteration deal: Fig. 3
+                           // under schedule(static, 1)
+      return RecoveryStyle::PerIteration;
+    case Scheme::Chunked:
+    case Scheme::RowSegmentsChunked:
+      // A non-positive chunk means the per-thread fallback at runtime
+      // (nrc::run); the emission must not diverge from what the same
+      // descriptor executes.
+      return s.chunk > 0 ? RecoveryStyle::Chunked : RecoveryStyle::PerThread;
+    case Scheme::SimdBlocks:
+    case Scheme::SimdBlocksChunked:
+      return RecoveryStyle::SimdBlocks;
+    case Scheme::PerThread:
+    case Scheme::Taskloop:
+    case Scheme::RowSegments:
+    case Scheme::SerialSim:
+      return RecoveryStyle::PerThread;
+  }
+  return RecoveryStyle::PerThread;
+}
+
+std::string emission_omp_schedule(const Schedule& s) {
+  switch (s.scheme) {
+    case Scheme::PerIteration:
+      return s.omp == OmpSchedule::Dynamic ? "dynamic" : "static";
+    case Scheme::WarpSim:
+      return "static, 1";
+    case Scheme::Chunked:
+    case Scheme::RowSegmentsChunked:
+      // chunk <= 0 lowers to the PerThread style (see emission_style),
+      // whose contiguous static split needs a plain schedule(static).
+      return s.chunk > 0 ? "static, " + std::to_string(s.chunk) : "static";
+    default:
+      return "static";
+  }
+}
+
 std::string emit_original_function(const NestProgram& prog) {
   CodeWriter w;
   w.open(signature(prog, "original"));
@@ -244,11 +284,12 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
     w.line(decl + ";");
   }
 
-  switch (opt.style) {
+  const std::string omp_sched = emission_omp_schedule(opt.schedule);
+  switch (emission_style(opt.schedule)) {
     case RecoveryStyle::PerIteration: {
       if (opt.parallel)
         w.line("#pragma omp parallel for private(" + private_clause(col) + ") schedule(" +
-               opt.schedule + ")");
+               omp_sched + ")");
       w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
       emit_recovery(w, prog, col);
       emit_inner_loops_and_body(w, prog);
@@ -259,7 +300,7 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
       w.line("int __nrc_first = 1;");
       if (opt.parallel)
         w.line("#pragma omp parallel for firstprivate(__nrc_first) private(" +
-               private_clause(col) + ") schedule(" + opt.schedule + ")");
+               private_clause(col) + ") schedule(" + omp_sched + ")");
       w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
       w.open("if (__nrc_first)");
       emit_recovery(w, prog, col);
@@ -273,9 +314,9 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
     case RecoveryStyle::Chunked: {
       if (opt.parallel)
         w.line("#pragma omp parallel for private(" + private_clause(col) + ") schedule(" +
-               opt.schedule + ", " + std::to_string(opt.chunk) + ")");
+               omp_sched + ")");
       w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
-      w.open("if ((pc - 1) % " + std::to_string(opt.chunk) + " == 0)");
+      w.open("if ((pc - 1) % " + std::to_string(opt.schedule.chunk) + " == 0)");
       emit_recovery(w, prog, col);
       w.close();
       emit_inner_loops_and_body(w, prog);
@@ -288,11 +329,11 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
       // materialize the index tuples by incrementation and run the body
       // under `omp simd` with the indices re-bound per lane.
       const NestSpec& sub = col.nest();
-      const std::string vlen = std::to_string(opt.vlen);
+      const std::string vlen = std::to_string(opt.schedule.vlen);
       w.line("int __nrc_first = 1;");
       if (opt.parallel)
         w.line("#pragma omp parallel for firstprivate(__nrc_first) private(" +
-               private_clause(col) + ") schedule(" + opt.schedule + ")");
+               private_clause(col) + ") schedule(" + omp_sched + ")");
       w.open("for (long pc = 1; pc <= __nrc_total; pc += " + vlen + ")");
       w.open("if (__nrc_first)");
       emit_recovery(w, prog, col);

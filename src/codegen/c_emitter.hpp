@@ -6,7 +6,9 @@
 //   * PerThread    — Fig. 4: firstprivate flag, one recovery per thread,
 //                    then original-nest index incrementation;
 //   * Chunked      — §V: schedule(static, CHUNK) with one recovery per
-//                    chunk.
+//                    chunk;
+//   * SimdBlocks   — §VI-A: precompute vlength index tuples, omp simd
+//                    body.
 // Degree <= 2 recoveries use plain sqrt/floor (as Fig. 3); degree >= 3
 // call emitted guarded real-arithmetic Cardano/Ferrari helpers — the C
 // transliteration of the library's core/real_solvers.hpp
@@ -15,6 +17,18 @@
 // C99 complex value (the paper's Fig. 7 creal(cpow(...)) form is UB at
 // degenerate points; degeneration now falls back to the exact
 // integer-guard walk instead).
+//
+// The emitter consumes the same Schedule descriptor the runtime
+// dispatcher executes (pipeline/schedule.hpp), so a scheme choice made
+// once — by hand or by Schedule::auto_select — drives library execution
+// and generated C from one source of truth.  Each of the ten runtime
+// schemes maps onto the nearest of the four emission styles
+// (emission_style below): the chunked schemes emit the Chunked style
+// with their chunk, the SIMD block schemes the SimdBlocks style with
+// their vlen, the per-thread family (per_thread, taskloop,
+// row_segments, serial_sim) the Fig. 4 PerThread style, and warp_sim
+// emits PerIteration under schedule(static, 1) — the coalesced
+// consecutive-iteration deal §VI-B targets, expressed in OpenMP.
 //
 // emit_verification_program wraps the original and the collapsed
 // function in a main() that runs both on identical inputs and compares
@@ -25,6 +39,7 @@
 
 #include "codegen/dsl_parser.hpp"
 #include "core/collapse.hpp"
+#include "pipeline/schedule.hpp"
 
 namespace nrc {
 
@@ -35,12 +50,21 @@ enum class RecoveryStyle {
   SimdBlocks,    ///< §VI-A: precompute vlength index tuples, omp simd body
 };
 
+/// The emission style a Schedule lowers to (see the mapping above).
+RecoveryStyle emission_style(const Schedule& s);
+
+/// The OpenMP schedule clause body the emitted pragma carries for a
+/// Schedule, e.g. "static", "dynamic", "static, 512".
+std::string emission_omp_schedule(const Schedule& s);
+
 struct EmitOptions {
-  RecoveryStyle style = RecoveryStyle::PerThread;
-  i64 chunk = 512;                 ///< Chunked style only
-  int vlen = 8;                    ///< SimdBlocks style only
-  bool parallel = true;            ///< emit the OpenMP pragma
-  std::string schedule = "static"; ///< OpenMP schedule kind
+  /// The scheme to emit; the default Schedule is the Fig. 4 per-thread
+  /// scheme.  scheme parameters (chunk, vlen, PerIteration's
+  /// static/dynamic flavour) come from here — a non-positive chunk
+  /// lowers to the PerThread style, exactly the fallback nrc::run
+  /// executes for the same descriptor.
+  Schedule schedule{};
+  bool parallel = true;  ///< emit the OpenMP pragma
 };
 
 /// The original (non-collapsed) nest as a C function.

@@ -32,6 +32,10 @@
 #include "math/polynomial.hpp"
 #include "math/rational.hpp"
 #include "math/roots.hpp"
+#include "pipeline/dispatch.hpp"
+#include "pipeline/plan.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "pipeline/schedule.hpp"
 #include "polyhedral/affine.hpp"
 #include "polyhedral/domain.hpp"
 #include "polyhedral/lexmin.hpp"

@@ -1,0 +1,92 @@
+#pragma once
+// CollapsePlan: the whole analyze-once pipeline as one reusable object.
+//
+// The library's front-to-back flow is
+//
+//   NestSpec  --collapse()-->  Collapsed  --bind(params)-->  CollapsedEval
+//
+// where collapse() does the symbolic work (ranking polynomials, level
+// formulas, branch calibration) and bind() the per-domain lowering
+// (parameter folding, solver selection, the f64-guard proof).  A
+// CollapsePlan captures one full traversal of that pipeline — the nest,
+// the CollapseOptions, the symbolic Collapsed and the bound evaluator —
+// as a single immutable, thread-safe value that can be executed, cached
+// (pipeline/plan_cache.hpp) and re-dispatched arbitrarily often:
+//
+//   auto plan = CollapsePlan::build(nest, {{"N", 5000}});
+//   nrc::run(*plan, Schedule::auto_select(plan->eval()), body);
+//
+// Immutability contract: the stored CollapsedEval is exposed const-only
+// and never has its mutable tuning hooks (set_f64_guards, demotion
+// forcing) touched, so every const method is safe to call from any
+// number of threads concurrently — the property the concurrent plan
+// cache relies on to hand one plan to many threads.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/collapse.hpp"
+#include "pipeline/dispatch.hpp"
+#include "pipeline/schedule.hpp"
+
+namespace nrc {
+
+class CollapsePlan {
+ public:
+  /// Run the pipeline end to end: collapse(nest, opts) + bind(params).
+  /// Throws as collapse()/bind() throw (model violations, missing
+  /// parameters, empty domains).  Returned by shared_ptr because the
+  /// plan cache and every consumer share ownership of one immutable
+  /// instance.
+  static std::shared_ptr<const CollapsePlan> build(const NestSpec& nest,
+                                                   const ParamMap& params,
+                                                   const CollapseOptions& opts = {});
+
+  const NestSpec& nest() const { return col_.nest(); }
+  const Collapsed& collapsed() const { return col_; }
+  const CollapsedEval& eval() const { return eval_; }
+  const ParamMap& params() const { return eval_.params(); }
+  const CollapseOptions& options() const { return opts_; }
+
+  /// The per-level recovery engines bind() chose (outermost first).
+  std::vector<LevelSolverKind> solver_kinds() const;
+
+  /// Schedule::auto_select over this plan's bound evaluator.
+  Schedule auto_schedule(const AutoSelectHints& hints = {}) const {
+    return Schedule::auto_select(eval_, hints);
+  }
+
+  /// The symbolic report plus the pipeline lines: the bound parameters,
+  /// the auto-selected schedule, and — for plans built through a
+  /// PlanCache — that cache's hit/miss/eviction counters.
+  std::string describe() const;
+
+ private:
+  friend class PlanCache;
+  CollapsePlan(Collapsed col, CollapsedEval eval, CollapseOptions opts)
+      : col_(std::move(col)), eval_(std::move(eval)), opts_(std::move(opts)) {}
+
+  Collapsed col_;
+  CollapsedEval eval_;
+  CollapseOptions opts_;
+  /// The building cache's state, tracked weakly: plans share ownership
+  /// and routinely outlive the cache (eviction hands the last reference
+  /// to the holder), so describe() prints the cache-stats line only
+  /// while the cache is still alive — never a dangling access.
+  std::weak_ptr<const struct PlanCacheState> origin_;
+};
+
+/// One-line stats rendering over a cache's internal state (defined in
+/// plan_cache.cpp; used by CollapsePlan::describe and
+/// PlanCache::stats_line).
+std::string plan_cache_state_stats_line(const PlanCacheState& state);
+
+/// Dispatcher overload on a plan: run(plan, schedule, body) — the
+/// pipeline's one execution front door.
+template <class Body>
+void run(const CollapsePlan& plan, const Schedule& s, Body&& body) {
+  run(plan.eval(), s, static_cast<Body&&>(body));
+}
+
+}  // namespace nrc

@@ -1,0 +1,215 @@
+#include "pipeline/plan_cache.hpp"
+
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace nrc {
+
+// ------------------------------------------------------------- CollapsePlan
+
+std::shared_ptr<const CollapsePlan> CollapsePlan::build(const NestSpec& nest,
+                                                        const ParamMap& params,
+                                                        const CollapseOptions& opts) {
+  Collapsed col = collapse(nest, opts);
+  CollapsedEval ev = col.bind(params);
+  return std::shared_ptr<const CollapsePlan>(
+      new CollapsePlan(std::move(col), std::move(ev), opts));
+}
+
+std::vector<LevelSolverKind> CollapsePlan::solver_kinds() const {
+  std::vector<LevelSolverKind> kinds;
+  kinds.reserve(static_cast<size_t>(eval_.depth()));
+  for (int k = 0; k < eval_.depth(); ++k) kinds.push_back(eval_.solver_kind(k));
+  return kinds;
+}
+
+std::string CollapsePlan::describe() const {
+  std::string s = col_.describe();
+  s += "bound parameters:";
+  for (const auto& [name, v] : eval_.params()) s += " " + name + "=" + std::to_string(v);
+  s += " (trip count " + std::to_string(eval_.trip_count()) + ")\n";
+  s += "schedule (auto): " + auto_schedule().describe() + "\n";
+  // Plans share ownership and routinely outlive the cache that built
+  // them (eviction hands the last reference to the holder), so the
+  // origin is tracked weakly: the stats line appears only while the
+  // building cache is still alive.
+  if (auto state = origin_.lock()) s += plan_cache_state_stats_line(*state) + "\n";
+  return s;
+}
+
+// ----------------------------------------------------------------- PlanCache
+
+std::string plan_cache_key(const NestSpec& nest, const ParamMap& params,
+                           const CollapseOptions& opts) {
+  // nest.str() renders every loop's bounds exactly, so two nests share a
+  // key iff they are the same Fig. 5 structure; options and the sorted
+  // parameter bindings (ParamMap is an ordered map) complete the key.
+  std::string key = nest.str();
+  key += "|opts:";
+  key += opts.build_closed_form ? '1' : '0';
+  key += ',';
+  key += std::to_string(opts.max_closed_degree);
+  for (const auto& [name, v] : opts.calibration)
+    key += "," + name + "=" + std::to_string(v);
+  key += "|params:";
+  for (const auto& [name, v] : params) key += name + "=" + std::to_string(v) + ";";
+  return key;
+}
+
+/// The cache's whole mutable state, owned by shared_ptr so plans can
+/// hold a weak reference for describe() without extending the cache's
+/// lifetime (and without dangling after it).
+struct PlanCacheState {
+  struct Shard {
+    mutable std::mutex mu;
+    PlanCacheStats stats;
+    /// LRU order, most recent at the front; each entry owns its plan.
+    std::list<std::pair<std::string, std::shared_ptr<const CollapsePlan>>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> map;
+  };
+
+  size_t capacity;
+  std::vector<std::unique_ptr<Shard>> shards;
+  /// Symbolic artifacts keyed without the parameters (cache-global: a
+  /// fresh parameter set can land on any shard), so a new parameter set
+  /// on a known nest skips collapse() and pays only bind().  sym_mu is
+  /// only ever acquired inside a shard lock — one lock order, no
+  /// deadlock.
+  mutable std::mutex sym_mu;
+  std::unordered_map<std::string, Collapsed> symbolic;
+
+  PlanCacheStats merged_stats() const {
+    PlanCacheStats total;
+    for (const auto& sh : shards) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      total += sh->stats;
+    }
+    return total;
+  }
+  size_t plan_count() const {
+    size_t n = 0;
+    for (const auto& sh : shards) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      n += sh->lru.size();
+    }
+    return n;
+  }
+};
+
+std::string plan_cache_state_stats_line(const PlanCacheState& st) {
+  const PlanCacheStats s = st.merged_stats();
+  return "plan cache: " + std::to_string(s.hits) + " hits / " +
+         std::to_string(s.misses) + " misses (" + std::to_string(s.symbolic_hits) +
+         " symbolic hits), " + std::to_string(s.evictions) + " evictions, " +
+         std::to_string(st.plan_count()) + " plans";
+}
+
+PlanCache::PlanCache(size_t capacity_per_shard, size_t shards)
+    : state_(std::make_shared<PlanCacheState>()) {
+  state_->capacity = capacity_per_shard > 0 ? capacity_per_shard : 1;
+  if (shards < 1) shards = 1;
+  state_->shards.reserve(shards);
+  for (size_t i = 0; i < shards; ++i)
+    state_->shards.push_back(std::make_unique<PlanCacheState::Shard>());
+}
+
+PlanCache::~PlanCache() = default;
+
+std::shared_ptr<const CollapsePlan> PlanCache::get(const NestSpec& nest,
+                                                   const ParamMap& params,
+                                                   const CollapseOptions& opts) {
+  PlanCacheState& st = *state_;
+  const std::string key = plan_cache_key(nest, params, opts);
+  PlanCacheState::Shard& sh =
+      *st.shards[std::hash<std::string>{}(key) % st.shards.size()];
+
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (auto it = sh.map.find(key); it != sh.map.end()) {
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // refresh LRU position
+    ++sh.stats.hits;
+    return it->second->second;
+  }
+
+  // Miss: build under the shard lock, so concurrent requests for the
+  // same key perform exactly one build (requests for other shards are
+  // unaffected; same-shard requests for other keys wait — the price of
+  // once-exactly semantics without per-entry bookkeeping).  The
+  // symbolic table is cache-global (its key drops the parameters, so a
+  // fresh parameter set can land on any shard) behind its own mutex,
+  // always acquired strictly inside a shard lock — one lock order, no
+  // deadlock.  sym_key is only needed here, off the hit path.
+  const std::string sym_key = plan_cache_key(nest, {}, opts);
+  Collapsed col;
+  bool have_symbolic = false;
+  {
+    std::lock_guard<std::mutex> sym_lock(st.sym_mu);
+    if (auto sit = st.symbolic.find(sym_key); sit != st.symbolic.end()) {
+      col = sit->second;
+      have_symbolic = true;
+    }
+  }
+  if (!have_symbolic) {
+    col = collapse(nest, opts);
+    std::lock_guard<std::mutex> sym_lock(st.sym_mu);
+    // Bounded without per-entry bookkeeping: symbolic artifacts are
+    // rebuildable pure values, so wholesale clearing on overflow stays
+    // correct.
+    if (st.symbolic.size() >= st.capacity * st.shards.size()) st.symbolic.clear();
+    st.symbolic.emplace(sym_key, col);
+  }
+  // bind() may throw (empty domain, missing parameter): no plan is
+  // cached then, but the symbolic artifact above is still worth keeping.
+  CollapsedEval ev = col.bind(params);
+  auto plan = std::shared_ptr<CollapsePlan>(
+      new CollapsePlan(std::move(col), std::move(ev), opts));
+  plan->origin_ = state_;
+
+  ++sh.stats.misses;
+  if (have_symbolic) ++sh.stats.symbolic_hits;
+  sh.lru.emplace_front(key, plan);
+  sh.map.emplace(key, sh.lru.begin());
+  if (sh.lru.size() > st.capacity) {
+    sh.map.erase(sh.lru.back().first);
+    sh.lru.pop_back();
+    ++sh.stats.evictions;
+  }
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const { return state_->merged_stats(); }
+
+std::vector<PlanCacheStats> PlanCache::shard_stats() const {
+  std::vector<PlanCacheStats> out;
+  out.reserve(state_->shards.size());
+  for (const auto& sh : state_->shards) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    out.push_back(sh->stats);
+  }
+  return out;
+}
+
+size_t PlanCache::size() const { return state_->plan_count(); }
+
+void PlanCache::clear() {
+  PlanCacheState& st = *state_;
+  for (const auto& sh : st.shards) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->lru.clear();
+    sh->map.clear();
+  }
+  std::lock_guard<std::mutex> sym_lock(st.sym_mu);
+  st.symbolic.clear();
+}
+
+std::string PlanCache::stats_line() const {
+  return plan_cache_state_stats_line(*state_);
+}
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace nrc

@@ -1,0 +1,105 @@
+#pragma once
+// plan_cache: a sharded concurrent cache of CollapsePlans.
+//
+// Production traffic re-submits the same nest structures with a small
+// set of parameter values over and over; the symbolic collapse() and
+// even the per-domain bind() are pure functions of (nest, options,
+// params), so the plans they produce are perfectly shareable.  The
+// cache maps
+//
+//   (nest structure, CollapseOptions, bound parameters)  ->  CollapsePlan
+//
+// so a repeated domain skips symbolic build and bind entirely, and —
+// through a second, per-shard symbolic table keyed without the
+// parameters — a *new* parameter set on a known nest still skips the
+// symbolic half and pays only bind().
+//
+// Concurrency: the key hash picks a shard; each shard is an
+// independently locked LRU map, so gets on different shards never
+// contend.  A shard builds missing plans under its lock — concurrent
+// requests for the same key therefore perform exactly ONE build and
+// every caller receives the same shared immutable plan (the property
+// the concurrent hammer test pins down).  Counters are per shard and
+// merged by stats().
+//
+// Eviction: per-shard LRU with a fixed capacity; an evicted key is
+// simply rebuilt on next use — plans are pure values, so a rebuilt plan
+// is byte-identical to the evicted one (tested).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/plan.hpp"
+
+namespace nrc {
+
+/// Merged (or per-shard) cache counters.  Plain integers in the style
+/// of RecoveryStats: merge shards/threads with operator+=.
+struct PlanCacheStats {
+  i64 hits = 0;           ///< full hits: symbolic build AND bind skipped
+  i64 misses = 0;         ///< plan built (see symbolic_hits for the split)
+  i64 symbolic_hits = 0;  ///< misses that reused a cached symbolic Collapsed
+                          ///< (only bind() ran)
+  i64 evictions = 0;      ///< plans dropped by the per-shard LRU
+  i64 lookups() const { return hits + misses; }
+  PlanCacheStats& operator+=(const PlanCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    symbolic_hits += o.symbolic_hits;
+    evictions += o.evictions;
+    return *this;
+  }
+};
+
+class PlanCache {
+ public:
+  /// `capacity_per_shard` bounds each shard's LRU (so the cache holds at
+  /// most shards * capacity_per_shard plans); `shards` is rounded up to
+  /// at least 1.
+  explicit PlanCache(size_t capacity_per_shard = 64, size_t shards = 16);
+  ~PlanCache();
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The front door: return the cached plan for (nest, opts, params),
+  /// building and inserting it on a miss.  Throws as
+  /// CollapsePlan::build throws (nothing is cached on failure).
+  std::shared_ptr<const CollapsePlan> get(const NestSpec& nest, const ParamMap& params,
+                                          const CollapseOptions& opts = {});
+
+  /// Counters merged over all shards.
+  PlanCacheStats stats() const;
+
+  /// Per-shard counters (the thread_stats-style breakdown; index ==
+  /// shard id).
+  std::vector<PlanCacheStats> shard_stats() const;
+
+  /// Cached plan count over all shards.
+  size_t size() const;
+
+  /// Drop every cached plan and symbolic artifact (counters persist).
+  void clear();
+
+  /// One-line rendering of stats(), e.g.
+  /// "plan cache: 98 hits / 2 misses (1 symbolic hit), 0 evictions, 2 plans".
+  std::string stats_line() const;
+
+ private:
+  /// The whole mutable state (shards, LRU maps, the symbolic table)
+  /// sits behind one shared_ptr so plans built here can track their
+  /// origin weakly for describe() — see CollapsePlan::origin_.
+  std::shared_ptr<PlanCacheState> state_;
+};
+
+/// The process-global default cache (used by the examples and anything
+/// that wants caching without owning a PlanCache instance).
+PlanCache& plan_cache();
+
+/// The canonical cache key: the nest structure (bounds rendered
+/// exactly), the collapse options and the sorted parameter bindings.
+/// Exposed for the key-aliasing tests.
+std::string plan_cache_key(const NestSpec& nest, const ParamMap& params,
+                           const CollapseOptions& opts);
+
+}  // namespace nrc

@@ -1,5 +1,10 @@
 #pragma once
-// OpenMP execution schemes for collapsed loops (paper §V).
+// OpenMP execution schemes for collapsed loops (paper §V) — the legacy
+// scalar entry points, kept as thin wrappers over the unified
+// dispatcher (pipeline/dispatch.hpp): each one builds the matching
+// Schedule descriptor and calls nrc::run(), so every scheme's
+// implementation — and the chunking/thread-range arithmetic the schemes
+// share — lives exactly once in the pipeline layer.
 //
 // All schemes iterate pc = 1..trip_count over the collapsed single loop
 // and call `body(idx)` with the recovered original indices.  They differ
@@ -12,6 +17,8 @@
 //   collapsed_for_chunked        — schedule(static, CHUNK) semantics,
 //                                  recovery once per chunk (§V second
 //                                  scheme);
+//   collapsed_for_taskloop       — grains as OpenMP tasks, one recovery
+//                                  per grain;
 //   collapsed_serial_sim         — serial run performing `n_chunks`
 //                                  recoveries (the measurement protocol of
 //                                  Fig. 10: "root evaluations are performed
@@ -21,101 +28,16 @@
 // cn.depth().  Bodies must be safe to run concurrently on distinct
 // iterations (the collapsed loops carry no dependence by assumption).
 
-#include <omp.h>
-
-#include <algorithm>
-#include <span>
-
-#include "core/collapse.hpp"
+#include "pipeline/dispatch.hpp"
 
 namespace nrc {
-
-struct RunConfig {
-  int threads = 0;  ///< 0: use the OpenMP default
-};
-
-/// Default chunk size for the §V chunked scheme: small enough that the
-/// round-robin deal keeps all threads co-located in the iteration space
-/// (shared-cache streaming, like dynamic scheduling achieves), large
-/// enough to amortize the per-chunk recovery.
-inline i64 default_chunk(i64 total, int threads) {
-  const i64 c = total / (static_cast<i64>(threads > 0 ? threads : 1) * 32);
-  return std::clamp<i64>(c, 1, 4096);
-}
-
-enum class OmpSchedule { Static, Dynamic };
-
-namespace detail {
-
-/// Contiguous schedule(static) split of [1, total] among np ranks:
-/// rank t receives `cnt` pcs starting at `lo`.  Shared by the
-/// per-thread, row-segment and simd-block executors so every scheme
-/// slices the collapsed range identically.
-inline void static_thread_range(i64 total, i64 np, i64 t, i64* lo, i64* cnt) {
-  const i64 base = total / np;
-  const i64 rem = total % np;
-  *lo = 1 + t * base + std::min<i64>(t, rem);
-  *cnt = base + (t < rem ? 1 : 0);
-}
-
-/// ceil(total / chunk) without forming total + chunk - 1, which wraps
-/// for chunk near the i64 maximum — the naive form made every chunked
-/// scheme compute a non-positive chunk count and silently skip the
-/// whole domain when callers passed a "practically infinite" chunk.
-/// Shared by the scalar, row-segment and simd-block chunked executors.
-inline i64 chunk_count(i64 total, i64 chunk) {
-  return total / chunk + (total % chunk != 0 ? 1 : 0);
-}
-
-/// Last pc of chunk q (0-based) given its first pc `lo`, clipped at
-/// total.  Computed as a bound on the *remaining* range so that
-/// lo + chunk - 1 (and the (q + 1) * chunk it replaces) can never
-/// overflow: lo <= total always holds for a valid chunk start.
-inline i64 chunk_end(i64 total, i64 lo, i64 chunk) {
-  return chunk - 1 <= total - lo ? lo + chunk - 1 : total;
-}
-
-/// Run the contiguous pc range [lo, hi] (1-based, inclusive) with one
-/// costly recovery at lo and row arithmetic afterwards (for_each_row):
-/// the innermost bound is evaluated once per row instead of once per
-/// iteration, so the scalar production schemes pay one prefix solve per
-/// chunk and O(1) work per iteration.
-template <class Body>
-void run_scalar_range(const CollapsedEval& cn, i64 lo, i64 hi, Body&& body) {
-  const size_t d = static_cast<size_t>(cn.depth());
-  cn.for_each_row(lo, hi, [&](i64* idx, i64 j_begin, i64 j_end) {
-    const std::span<const i64> tuple(idx, d);
-    for (i64 j = j_begin; j < j_end; ++j) {
-      idx[d - 1] = j;
-      body(tuple);
-    }
-  });
-}
-
-}  // namespace detail
 
 /// Naive scheme: full closed-form recovery at every iteration.
 template <class Body>
 void collapsed_for_per_iteration(const CollapsedEval& cn, Body&& body,
                                  OmpSchedule sched = OmpSchedule::Static,
                                  RunConfig cfg = {}) {
-  const i64 total = cn.trip_count();
-  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
-  if (sched == OmpSchedule::Static) {
-#pragma omp parallel for schedule(static) num_threads(nt)
-    for (i64 pc = 1; pc <= total; ++pc) {
-      i64 idx[kMaxDepth];
-      cn.recover(pc, {idx, static_cast<size_t>(cn.depth())});
-      body(std::span<const i64>(idx, static_cast<size_t>(cn.depth())));
-    }
-  } else {
-#pragma omp parallel for schedule(dynamic, 64) num_threads(nt)
-    for (i64 pc = 1; pc <= total; ++pc) {
-      i64 idx[kMaxDepth];
-      cn.recover(pc, {idx, static_cast<size_t>(cn.depth())});
-      body(std::span<const i64>(idx, static_cast<size_t>(cn.depth())));
-    }
-  }
+  run(cn, Schedule::per_iteration(sched, cfg), static_cast<Body&&>(body));
 }
 
 /// §V scheme with one costly recovery per thread: each thread receives a
@@ -123,39 +45,16 @@ void collapsed_for_per_iteration(const CollapsedEval& cn, Body&& body,
 /// iteration, and advances by odometer increments.
 template <class Body>
 void collapsed_for_per_thread(const CollapsedEval& cn, Body&& body, RunConfig cfg = {}) {
-  const i64 total = cn.trip_count();
-  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
-#pragma omp parallel num_threads(nt)
-  {
-    i64 lo, cnt;
-    detail::static_thread_range(total, omp_get_num_threads(), omp_get_thread_num(),
-                                &lo, &cnt);
-    if (cnt > 0) detail::run_scalar_range(cn, lo, lo + cnt - 1, body);
-  }
+  run(cn, Schedule::per_thread(cfg), static_cast<Body&&>(body));
 }
 
 /// §V scheme with schedule(static, chunk) semantics: chunks are dealt to
 /// threads round-robin; the costly recovery runs once per chunk.
+/// A non-positive chunk falls back to the per-thread scheme.
 template <class Body>
 void collapsed_for_chunked(const CollapsedEval& cn, i64 chunk, Body&& body,
                            RunConfig cfg = {}) {
-  if (chunk <= 0) {
-    collapsed_for_per_thread(cn, static_cast<Body&&>(body), cfg);
-    return;
-  }
-  const i64 total = cn.trip_count();
-  const i64 nchunks = detail::chunk_count(total, chunk);
-  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
-#pragma omp parallel num_threads(nt)
-  {
-    const i64 t = omp_get_thread_num();
-    const i64 np = omp_get_num_threads();
-    for (i64 q = t; q < nchunks; q += np) {
-      const i64 lo = 1 + q * chunk;
-      const i64 hi = detail::chunk_end(total, lo, chunk);
-      detail::run_scalar_range(cn, lo, hi, body);
-    }
-  }
+  run(cn, Schedule::chunked(chunk, cfg), static_cast<Body&&>(body));
 }
 
 /// Task-based execution: the collapsed range is cut into grains, each
@@ -166,20 +65,7 @@ void collapsed_for_chunked(const CollapsedEval& cn, i64 chunk, Body&& body,
 template <class Body>
 void collapsed_for_taskloop(const CollapsedEval& cn, i64 grainsize, Body&& body,
                             RunConfig cfg = {}) {
-  const i64 total = cn.trip_count();
-  const int nt = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
-  const i64 grain = grainsize > 0 ? grainsize : default_chunk(total, nt);
-  const i64 ntasks = detail::chunk_count(total, grain);
-#pragma omp parallel num_threads(nt)
-#pragma omp single
-  {
-#pragma omp taskloop grainsize(1)
-    for (i64 q = 0; q < ntasks; ++q) {
-      const i64 lo = 1 + q * grain;
-      const i64 hi = detail::chunk_end(total, lo, grain);
-      detail::run_scalar_range(cn, lo, hi, body);
-    }
-  }
+  run(cn, Schedule::taskloop(grainsize, cfg), static_cast<Body&&>(body));
 }
 
 /// Serial execution of the collapsed loop performing `n_chunks` costly
@@ -187,27 +73,11 @@ void collapsed_for_taskloop(const CollapsedEval& cn, i64 grainsize, Body&& body,
 /// measurement protocol.  n_chunks <= 1 recovers once at pc = 1.
 /// Deliberately keeps the paper's exact Fig. 4 shape — element-wise
 /// increment() every iteration — so the measured control overhead stays
-/// comparable with the paper; the production schemes above use
-/// row-arithmetic ranges instead.
+/// comparable with the paper; the production schemes use row-arithmetic
+/// ranges instead.
 template <class Body>
 void collapsed_serial_sim(const CollapsedEval& cn, int n_chunks, Body&& body) {
-  const i64 total = cn.trip_count();
-  if (n_chunks < 1) n_chunks = 1;
-  const size_t d = static_cast<size_t>(cn.depth());
-  const i64 base = total / n_chunks;
-  const i64 rem = total % n_chunks;
-  i64 lo = 1;
-  i64 idx[kMaxDepth];
-  for (int q = 0; q < n_chunks; ++q) {
-    const i64 cnt = base + (q < rem ? 1 : 0);
-    if (cnt <= 0) continue;
-    cn.recover(lo, {idx, d});
-    for (i64 pc = lo; pc < lo + cnt; ++pc) {
-      body(std::span<const i64>(idx, d));
-      if (pc + 1 < lo + cnt) cn.increment({idx, d});
-    }
-    lo += cnt;
-  }
+  run(cn, Schedule::serial_sim(n_chunks), static_cast<Body&&>(body));
 }
 
 /// Plain serial execution of the *original* nest order via the odometer

@@ -1,6 +1,7 @@
 #pragma once
 // Row-segment execution: the vectorization-friendly production form of
-// the §V per-thread scheme.
+// the §V per-thread scheme — thin wrappers over the unified dispatcher
+// (pipeline/dispatch.hpp).
 //
 // Calling the body once per collapsed iteration forces scalar code even
 // when the original innermost loop vectorized trivially (the paper
@@ -15,86 +16,34 @@
 // where prefix.size() == depth-1 holds the outer indices (empty for
 // depth-1 nests: the whole domain is one run).
 
-#include <omp.h>
-
-#include <algorithm>
-#include <span>
-
-#include "core/collapse.hpp"
-#include "runtime/execute.hpp"
+#include "pipeline/dispatch.hpp"
 
 namespace nrc {
-
-namespace detail {
-
-/// Run the pc range [lo, hi] (1-based, inclusive) as row segments.
-template <class SegBody>
-void run_segments(const CollapsedEval& cn, i64 lo, i64 hi, SegBody&& body) {
-  const size_t d = static_cast<size_t>(cn.depth());
-  cn.for_each_row(lo, hi, [&](const i64* idx, i64 j_begin, i64 j_end) {
-    body(std::span<const i64>(idx, d - 1), j_begin, j_end);
-  });
-}
-
-}  // namespace detail
 
 /// §V per-thread scheme with row-segment bodies: contiguous static
 /// blocks, one costly recovery per thread, segments inside.
 template <class SegBody>
 void collapsed_for_row_segments(const CollapsedEval& cn, SegBody&& body, int threads = 0) {
-  const i64 total = cn.trip_count();
-  const int nt = threads > 0 ? threads : omp_get_max_threads();
-#pragma omp parallel num_threads(nt)
-  {
-    i64 lo, cnt;
-    detail::static_thread_range(total, omp_get_num_threads(), omp_get_thread_num(),
-                                &lo, &cnt);
-    if (cnt > 0) detail::run_segments(cn, lo, lo + cnt - 1, body);
-  }
+  run(cn, Schedule::row_segments({threads}), static_cast<SegBody&&>(body));
 }
 
 /// §V chunked scheme with row-segment bodies: schedule(static, chunk)
 /// semantics (chunks dealt round-robin), one costly recovery per chunk,
 /// segments inside each chunk.  The round-robin deal keeps threads
 /// co-located in the iteration space, which preserves shared-cache
-/// streaming on kernels that read common data.
+/// streaming on kernels that read common data.  A non-positive chunk
+/// falls back to the per-thread segment scheme.
 template <class SegBody>
 void collapsed_for_row_segments_chunked(const CollapsedEval& cn, i64 chunk, SegBody&& body,
                                         int threads = 0) {
-  if (chunk <= 0) {
-    collapsed_for_row_segments(cn, static_cast<SegBody&&>(body), threads);
-    return;
-  }
-  const i64 total = cn.trip_count();
-  const i64 nchunks = detail::chunk_count(total, chunk);
-  const int nt = threads > 0 ? threads : omp_get_max_threads();
-#pragma omp parallel num_threads(nt)
-  {
-    const i64 t = omp_get_thread_num();
-    const i64 np = omp_get_num_threads();
-    for (i64 q = t; q < nchunks; q += np) {
-      const i64 lo = 1 + q * chunk;
-      const i64 hi = detail::chunk_end(total, lo, chunk);
-      detail::run_segments(cn, lo, hi, body);
-    }
-  }
+  run(cn, Schedule::row_segments_chunked(chunk, {threads}), static_cast<SegBody&&>(body));
 }
 
 /// Serial row-segment execution with `n_chunks` costly recoveries
 /// (the Fig. 10 measurement protocol, segment flavour).
 template <class SegBody>
 void collapsed_serial_segments_sim(const CollapsedEval& cn, int n_chunks, SegBody&& body) {
-  const i64 total = cn.trip_count();
-  if (n_chunks < 1) n_chunks = 1;
-  const i64 base = total / n_chunks;
-  const i64 rem = total % n_chunks;
-  i64 lo = 1;
-  for (int q = 0; q < n_chunks; ++q) {
-    const i64 cnt = base + (q < rem ? 1 : 0);
-    if (cnt <= 0) continue;
-    detail::run_segments(cn, lo, lo + cnt - 1, body);
-    lo += cnt;
-  }
+  detail::run_serial_sim_segments(cn, n_chunks, body);
 }
 
 }  // namespace nrc

@@ -1,5 +1,6 @@
 #pragma once
-// Vectorization-friendly block scheme (paper §VI-A).
+// Vectorization-friendly block scheme (paper §VI-A) — thin wrappers
+// over the unified dispatcher (pipeline/dispatch.hpp).
 //
 // Per thread: recover the first tuple once, then repeatedly materialize
 // up to `vlen` consecutive index tuples into a structure-of-arrays
@@ -19,118 +20,26 @@
 // lane (CollapsedEval::recover4), the §V chunked scheme with its
 // per-chunk recovery cost cut by the lane batch.
 
-#include <omp.h>
-
-#include <algorithm>
-#include <cstring>
-#include <span>
-
-#include "core/collapse.hpp"
-#include "runtime/execute.hpp"
-#include "runtime/simd_abi.hpp"
+#include "pipeline/dispatch.hpp"
 
 namespace nrc {
-
-inline constexpr int kMaxSimdLanes = 256;
-
-namespace detail {
-
-/// Walk the pc range [lo, hi] from the already-recovered tuple `idx`
-/// (the tuple of rank lo), emitting lane blocks of up to vlen rows:
-/// SoA columns are filled with vector stores, then body(lanes, cols).
-template <class BlockBody>
-void run_lane_blocks_from(const CollapsedEval& cn, std::span<i64> idx, i64 lo, i64 hi,
-                          int vlen, BlockBody&& body) {
-  const size_t d = static_cast<size_t>(cn.depth());
-  i64 soa[kMaxDepth][kMaxSimdLanes];
-  const i64* cols[kMaxDepth];
-  for (size_t k = 0; k < d; ++k) cols[k] = soa[k];
-
-  int lanes = 0;
-  cn.for_each_row_from(idx, lo, hi, [&](const i64* row, i64 j_begin, i64 j_end) {
-    i64 j = j_begin;
-    while (j < j_end) {
-      const i64 take = std::min<i64>(j_end - j, vlen - lanes);
-      for (size_t k = 0; k + 1 < d; ++k)
-        simd::fill_broadcast(&soa[k][lanes], take, row[k]);
-      simd::fill_iota(&soa[d - 1][lanes], take, j);
-      lanes += static_cast<int>(take);
-      j += take;
-      if (lanes == vlen) {
-        body(vlen, cols);
-        lanes = 0;
-      }
-    }
-  });
-  if (lanes > 0) body(lanes, cols);
-}
-
-}  // namespace detail
 
 template <class BlockBody>
 void collapsed_for_simd_blocks(const CollapsedEval& cn, int vlen, BlockBody&& body,
                                int threads = 0) {
-  if (vlen < 1 || vlen > kMaxSimdLanes)
-    throw SpecError("collapsed_for_simd_blocks: vlen out of range");
-  const i64 total = cn.trip_count();
-  const int nt = threads > 0 ? threads : omp_get_max_threads();
-  const size_t d = static_cast<size_t>(cn.depth());
-#pragma omp parallel num_threads(nt)
-  {
-    i64 lo, cnt;
-    detail::static_thread_range(total, omp_get_num_threads(), omp_get_thread_num(),
-                                &lo, &cnt);
-    if (cnt > 0) {
-      i64 idx[kMaxDepth];
-      cn.recover(lo, {idx, d});
-      detail::run_lane_blocks_from(cn, {idx, d}, lo, lo + cnt - 1, vlen, body);
-    }
-  }
+  run(cn, Schedule::simd_blocks(vlen, {threads}), static_cast<BlockBody&&>(body));
 }
 
 /// §V chunked scheme over lane blocks: chunks are dealt round-robin in
 /// groups of 4, and each group's chunk-start recoveries run as one
 /// lane-batched solve (4 pcs per SIMD lane).  Tail groups with fewer
-/// than 4 chunks fall back to scalar per-chunk recovery.
+/// than 4 chunks fall back to scalar per-chunk recovery.  A
+/// non-positive chunk falls back to collapsed_for_simd_blocks.
 template <class BlockBody>
 void collapsed_for_simd_blocks_chunked(const CollapsedEval& cn, int vlen, i64 chunk,
                                        BlockBody&& body, int threads = 0) {
-  if (vlen < 1 || vlen > kMaxSimdLanes)
-    throw SpecError("collapsed_for_simd_blocks_chunked: vlen out of range");
-  if (chunk <= 0) {
-    collapsed_for_simd_blocks(cn, vlen, static_cast<BlockBody&&>(body), threads);
-    return;
-  }
-  const i64 total = cn.trip_count();
-  const i64 nchunks = detail::chunk_count(total, chunk);
-  const i64 ngroups = (nchunks + 3) / 4;
-  const int nt = threads > 0 ? threads : omp_get_max_threads();
-  const size_t d = static_cast<size_t>(cn.depth());
-#pragma omp parallel num_threads(nt)
-  {
-    const i64 t = omp_get_thread_num();
-    const i64 np = omp_get_num_threads();
-    for (i64 g = t; g < ngroups; g += np) {
-      const i64 q0 = g * 4;
-      const i64 in_group = std::min<i64>(4, nchunks - q0);
-      i64 seed[4 * kMaxDepth];
-      if (in_group == 4) {
-        const i64 pcs[4] = {1 + q0 * chunk, 1 + (q0 + 1) * chunk, 1 + (q0 + 2) * chunk,
-                            1 + (q0 + 3) * chunk};
-        cn.recover4(pcs, {seed, 4 * d});
-      } else {
-        for (i64 b = 0; b < in_group; ++b)
-          cn.recover(1 + (q0 + b) * chunk, {seed + b * d, d});
-      }
-      for (i64 b = 0; b < in_group; ++b) {
-        const i64 lo = 1 + (q0 + b) * chunk;
-        const i64 hi = detail::chunk_end(total, lo, chunk);
-        i64 idx[kMaxDepth];
-        std::memcpy(idx, seed + b * d, d * sizeof(i64));
-        detail::run_lane_blocks_from(cn, {idx, d}, lo, hi, vlen, body);
-      }
-    }
-  }
+  run(cn, Schedule::simd_blocks_chunked(vlen, chunk, {threads}),
+      static_cast<BlockBody&&>(body));
 }
 
 }  // namespace nrc

@@ -1,5 +1,6 @@
 #pragma once
-// GPU warp-execution simulation (paper §VI-B).
+// GPU warp-execution simulation (paper §VI-B) — a thin wrapper over the
+// unified dispatcher (pipeline/dispatch.hpp).
 //
 // On a GPU one distributes *consecutive* collapsed iterations across the
 // W threads of a warp for memory coalescing; each thread then visits
@@ -8,83 +9,20 @@
 // same code path on the CPU: lane `l` handles pc = l+1, l+1+W, l+1+2W...
 // (lanes are mapped onto OpenMP threads).  It exists so the §VI-B scheme
 // is exercised and benchmarkable without GPU hardware.
+//
+// The lane walk itself (detail::warp_lane_walk, with its
+// advance-failure resync policy) lives in pipeline/dispatch.hpp next to
+// the other scheme implementations and stays templated on the evaluator
+// so tests can fault-inject it (tests/runtime/warp_test.cpp).
 
-#include <omp.h>
-
-#include <algorithm>
-#include <span>
-#include <vector>
-
-#include "core/collapse.hpp"
+#include "pipeline/dispatch.hpp"
 
 namespace nrc {
-
-namespace detail {
-
-/// One lane's strided walk over the collapsed range: visit pc = lane+1,
-/// lane+1+W, ... while pc <= total, jumping W positions per step with
-/// row arithmetic (advance() evaluates one bound per crossed row
-/// instead of W odometer increments).  `idx` holds the tuple of rank
-/// lane+1 on entry.
-///
-/// advance() reports failure when the walk would leave the domain; for
-/// a model-conforming domain that cannot happen mid-stride (the guard
-/// keeps the target rank <= total).  If it ever does fail — an engine
-/// regression, a domain that silently violates the Fig. 5 model — the
-/// lane must NOT abandon its remaining iterations (a silent drop is the
-/// worst failure mode a parallel scheme can have): it resynchronizes
-/// with a full recover() at its next pc and keeps striding.  Templated
-/// on the evaluator so the resync policy is testable with a
-/// fault-injecting wrapper (tests/runtime/warp_test.cpp).
-template <class Eval, class Body>
-void warp_lane_walk(const Eval& cn, i64 lane, i64 W, i64 total, std::span<i64> idx,
-                    Body&& body) {
-  for (i64 pc = lane + 1; /* lane + 1 <= total: live lanes only */;) {
-    body(std::span<const i64>(idx.data(), idx.size()));
-    // Stride-remaining test and loop exit before any pc + W is formed:
-    // pc can sit near the i64 maximum for astronomically shifted
-    // domains, total - pc cannot.
-    if (W > total - pc) break;
-    if (!cn.advance(idx, W)) cn.recover(pc + W, idx);
-    pc += W;
-  }
-}
-
-}  // namespace detail
 
 template <class Body>
 void collapsed_for_warp_sim(const CollapsedEval& cn, int warp_size, Body&& body,
                             int threads = 0) {
-  if (warp_size < 1) throw SpecError("collapsed_for_warp_sim: warp_size must be >= 1");
-  const i64 total = cn.trip_count();
-  if (total < 1) return;
-  const int nt = threads > 0 ? threads : omp_get_max_threads();
-  const size_t d = static_cast<size_t>(cn.depth());
-  const i64 W = warp_size;
-
-  // Lanes beyond the domain never execute: clamp the staging tile and
-  // the lane loop to the live lanes so a warp_size far beyond
-  // trip_count() (callers probe with huge warps) costs O(depth * total)
-  // memory, not O(depth * W) — the unclamped tile allocated gigabytes
-  // for warp_size near INT_MAX.
-  const i64 L = std::min<i64>(W, total);
-
-  // One block recovery seeds the whole warp: pcs 1..L are exactly the
-  // live lanes' starting iterations, so a single lane-strided block
-  // solve stages them as tile[k*L + lane] — the CPU stand-in for
-  // §VI-B's per-warp shared-memory tile (on a GPU,
-  // recover_block_lanes's output layout is what the warp would keep in
-  // shared memory).
-  std::vector<i64> tile(d * static_cast<size_t>(L));
-  cn.recover_block_lanes(1, L, tile, L);
-
-#pragma omp parallel for schedule(static) num_threads(nt)
-  for (i64 lane = 0; lane < L; ++lane) {
-    i64 idx[kMaxDepth];
-    for (size_t k = 0; k < d; ++k)
-      idx[k] = tile[k * static_cast<size_t>(L) + static_cast<size_t>(lane)];
-    detail::warp_lane_walk(cn, lane, W, total, {idx, d}, body);
-  }
+  run(cn, Schedule::warp_sim(warp_size, {threads}), static_cast<Body&&>(body));
 }
 
 }  // namespace nrc

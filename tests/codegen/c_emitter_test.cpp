@@ -53,7 +53,7 @@ TEST(Emitter, CollapsedPerThreadMirrorsFig4) {
   const NestProgram prog = correlation_prog();
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::PerThread;
+  opt.schedule = Schedule::per_thread();
   const std::string src = emit_collapsed_function(prog, col, opt);
   // Trip count (N^2 - N)/2, pure integer arithmetic.
   EXPECT_NE(src.find("const long __nrc_total = ((N*N - N) / 2);"), std::string::npos)
@@ -77,7 +77,7 @@ TEST(Emitter, CollapsedPerIterationMirrorsFig3) {
   const NestProgram prog = correlation_prog();
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::PerIteration;
+  opt.schedule = Schedule::per_iteration();
   const std::string src = emit_collapsed_function(prog, col, opt);
   EXPECT_NE(src.find("#pragma omp parallel for private(i, j) schedule(static)"),
             std::string::npos)
@@ -91,8 +91,7 @@ TEST(Emitter, CollapsedChunkedMirrorsSectionV) {
   const NestProgram prog = correlation_prog();
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::Chunked;
-  opt.chunk = 256;
+  opt.schedule = Schedule::chunked(256);
   const std::string src = emit_collapsed_function(prog, col, opt);
   EXPECT_NE(src.find("schedule(static, 256)"), std::string::npos) << src;
   EXPECT_NE(src.find("if ((pc - 1) % 256 == 0)"), std::string::npos);

@@ -72,7 +72,7 @@ TEST_F(IntegrationCompile, CorrelationPerThread) {
   const NestProgram prog = parse_nest_program(kCorrelation);
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::PerThread;
+  opt.schedule = Schedule::per_thread();
   for (const char* n : {"2", "17", "64"}) {
     EXPECT_EQ(compile_and_run(emit_verification_program(prog, col, opt),
                               std::string("corr_thread_") + n, n),
@@ -85,7 +85,7 @@ TEST_F(IntegrationCompile, CorrelationPerIteration) {
   const NestProgram prog = parse_nest_program(kCorrelation);
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::PerIteration;
+  opt.schedule = Schedule::per_iteration();
   EXPECT_EQ(compile_and_run(emit_verification_program(prog, col, opt), "corr_iter", "33"),
             0);
 }
@@ -94,8 +94,7 @@ TEST_F(IntegrationCompile, CorrelationChunked) {
   const NestProgram prog = parse_nest_program(kCorrelation);
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::Chunked;
-  opt.chunk = 64;
+  opt.schedule = Schedule::chunked(64);
   EXPECT_EQ(
       compile_and_run(emit_verification_program(prog, col, opt), "corr_chunk", "41"), 0);
 }
@@ -181,8 +180,7 @@ body {
 )");
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::Chunked;
-  opt.chunk = 32;
+  opt.schedule = Schedule::chunked(32);
   EXPECT_EQ(compile_and_run(emit_verification_program(prog, col, opt), "shifted", "21"),
             0);
 }

@@ -29,8 +29,7 @@ TEST(SimdEmit, StructureMirrorsSectionVIA) {
   const NestProgram prog = utma_prog();
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::SimdBlocks;
-  opt.vlen = 8;
+  opt.schedule = Schedule::simd_blocks(8);
   const std::string src = emit_collapsed_function(prog, col, opt);
   // Block stride on the pc loop.
   EXPECT_NE(src.find("for (long pc = 1; pc <= __nrc_total; pc += 8)"),
@@ -54,8 +53,7 @@ TEST(SimdEmit, CompilesAndVerifies) {
   const NestProgram prog = utma_prog();
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::SimdBlocks;
-  opt.vlen = 4;
+  opt.schedule = Schedule::simd_blocks(4);
   const std::string dir = ::testing::TempDir();
   {
     std::ofstream out(dir + "/nrc_simd.c");
@@ -91,8 +89,7 @@ body {
 )");
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::SimdBlocks;
-  opt.vlen = 8;
+  opt.schedule = Schedule::simd_blocks(8);
   const std::string dir = ::testing::TempDir();
   {
     std::ofstream out(dir + "/nrc_simd2.c");

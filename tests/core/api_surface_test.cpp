@@ -36,8 +36,7 @@ body { x[i] += (double)j; }
 )");
   const Collapsed col = collapse(prog.collapsed_nest());
   EmitOptions opt;
-  opt.style = RecoveryStyle::PerIteration;
-  opt.schedule = "dynamic";
+  opt.schedule = Schedule::per_iteration(OmpSchedule::Dynamic);
   const std::string src = emit_collapsed_function(prog, col, opt);
   EXPECT_NE(src.find("schedule(dynamic)"), std::string::npos);
 }

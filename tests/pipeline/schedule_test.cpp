@@ -1,0 +1,263 @@
+// Schedule descriptor + unified dispatcher: factory/validate/describe
+// semantics, the auto_select heuristic, nrc::run body-shape dispatch
+// (including its free tuple->segment/block adaptations and the
+// SpecError on shapes no adaptation covers), and the emitter-side
+// Schedule consumption (emission_style / emission_omp_schedule).
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "codegen/c_emitter.hpp"
+#include "pipeline/dispatch.hpp"
+#include "pipeline/schedule.hpp"
+
+namespace nrc {
+namespace {
+
+// ------------------------------------------------------------ descriptor
+
+TEST(Schedule, FactoriesCarryTheirParameters) {
+  EXPECT_EQ(Schedule::per_thread().scheme, Scheme::PerThread);
+  EXPECT_EQ(Schedule::per_iteration(OmpSchedule::Dynamic).omp, OmpSchedule::Dynamic);
+  EXPECT_EQ(Schedule::chunked(77).chunk, 77);
+  EXPECT_EQ(Schedule::taskloop(9).grain, 9);
+  EXPECT_EQ(Schedule::row_segments_chunked(33).chunk, 33);
+  EXPECT_EQ(Schedule::simd_blocks(16).vlen, 16);
+  const Schedule sc = Schedule::simd_blocks_chunked(4, 128, {3});
+  EXPECT_EQ(sc.vlen, 4);
+  EXPECT_EQ(sc.chunk, 128);
+  EXPECT_EQ(sc.cfg.threads, 3);
+  EXPECT_EQ(Schedule::warp_sim(32).warp_size, 32);
+  EXPECT_EQ(Schedule::serial_sim(12).serial_chunks, 12);
+}
+
+TEST(Schedule, ValidateThrowsExactlyWhereTheLegacyEntryPointsThrew) {
+  EXPECT_THROW(Schedule::simd_blocks(0).validate(), SpecError);
+  EXPECT_THROW(Schedule::simd_blocks(kMaxSimdLanes + 1).validate(), SpecError);
+  EXPECT_THROW(Schedule::simd_blocks_chunked(0, 8).validate(), SpecError);
+  EXPECT_THROW(Schedule::warp_sim(0).validate(), SpecError);
+  // Non-positive chunk/grain are documented fallbacks, not errors.
+  EXPECT_NO_THROW(Schedule::chunked(0).validate());
+  EXPECT_NO_THROW(Schedule::chunked(-5).validate());
+  EXPECT_NO_THROW(Schedule::taskloop(0).validate());
+  EXPECT_NO_THROW(Schedule::row_segments_chunked(0).validate());
+}
+
+TEST(Schedule, DescribeNamesSchemeAndParameters) {
+  EXPECT_EQ(Schedule::per_thread().describe(), "per_thread()");
+  EXPECT_EQ(Schedule::per_thread({8}).describe(), "per_thread(threads=8)");
+  EXPECT_EQ(Schedule::per_iteration(OmpSchedule::Dynamic).describe(),
+            "per_iteration(omp=dynamic)");
+  EXPECT_EQ(Schedule::chunked(512).describe(), "chunked(chunk=512)");
+  EXPECT_EQ(Schedule::simd_blocks_chunked(8, 64, {2}).describe(),
+            "simd_blocks_chunked(vlen=8, chunk=64, threads=2)");
+  EXPECT_EQ(Schedule::warp_sim(32).describe(), "warp_sim(warp_size=32)");
+  EXPECT_EQ(Schedule::serial_sim(12).describe(), "serial_sim(n_chunks=12)");
+}
+
+// ------------------------------------------------------------ auto_select
+
+TEST(AutoSelect, TinyDomainOrOneThreadRunsSerial) {
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval tiny = col.bind({{"N", 1}});  // 1 iteration
+  EXPECT_EQ(Schedule::auto_select(tiny).scheme, Scheme::SerialSim);
+
+  const CollapsedEval cn = col.bind({{"N", 400}});
+  AutoSelectHints one_thread;
+  one_thread.threads = 1;
+  EXPECT_EQ(Schedule::auto_select(cn, one_thread).scheme, Scheme::SerialSim);
+}
+
+TEST(AutoSelect, SmallDomainUsesPerThread) {
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval cn = col.bind({{"N", 3}});  // 10 iterations
+  AutoSelectHints h;
+  h.threads = 8;  // 10 < 4 * 8
+  const Schedule s = Schedule::auto_select(cn, h);
+  EXPECT_EQ(s.scheme, Scheme::PerThread);
+  EXPECT_EQ(s.cfg.threads, 8);
+}
+
+TEST(AutoSelect, CostlyRecoveryPrefersFewestRecoveries) {
+  // simplex_5d's level 0 has degree 5: no closed form, binary-search
+  // recovery — the costliest engine, so one recovery per thread wins.
+  const Collapsed col = collapse(testutil::simplex_5d());
+  const CollapsedEval cn = col.bind({{"N", 12}});
+  ASSERT_EQ(cn.solver_kind(0), LevelSolverKind::Search);
+  AutoSelectHints h;
+  h.threads = 4;
+  EXPECT_EQ(Schedule::auto_select(cn, h).scheme, Scheme::RowSegments);
+}
+
+TEST(AutoSelect, CheapClosedFormsTakeChunkedSegments) {
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const CollapsedEval cn = col.bind({{"N", 500}});
+  AutoSelectHints h;
+  h.threads = 4;
+  const Schedule s = Schedule::auto_select(cn, h);
+  EXPECT_EQ(s.scheme, Scheme::RowSegmentsChunked);
+  EXPECT_EQ(s.chunk, default_chunk(cn.trip_count(), 4));
+}
+
+TEST(AutoSelect, HighDegreeLevelsStayOnChunkedSegments) {
+  // Cubic levels pay more per recovery; the chunk amortizes it, and a
+  // block-shaped body does not flip the choice to the SIMD schemes.
+  const Collapsed col = collapse(testutil::tetrahedral_fig6());
+  const CollapsedEval cn = col.bind({{"N", 80}});
+  AutoSelectHints h;
+  h.threads = 4;
+  h.block_body = true;
+  EXPECT_EQ(Schedule::auto_select(cn, h).scheme, Scheme::RowSegmentsChunked);
+}
+
+TEST(AutoSelect, BlockBodyHintEnablesSimdScheme) {
+  const Collapsed col = collapse(testutil::triangular_strict());
+  const CollapsedEval cn = col.bind({{"N", 500}});
+  AutoSelectHints h;
+  h.threads = 4;
+  h.block_body = true;
+  h.vlen = 4;
+  const Schedule s = Schedule::auto_select(cn, h);
+  EXPECT_EQ(s.scheme, Scheme::SimdBlocksChunked);
+  EXPECT_EQ(s.vlen, 4);
+  EXPECT_NO_THROW(s.validate());
+}
+
+// --------------------------------------------------------------- dispatch
+
+/// Every Schedule the matrix can produce, driven through nrc::run with
+/// a tuple body, must visit the exact odometer multiset.
+TEST(Dispatch, EverySchemeVisitsTheExactDomain) {
+  const Collapsed col = collapse(testutil::tetrahedral_fig6());
+  const CollapsedEval cn = col.bind({{"N", 9}});
+  const auto ref = testutil::odometer_reference(cn);
+  const i64 total = cn.trip_count();
+  const Schedule schedules[] = {
+      Schedule::per_iteration(OmpSchedule::Static, {3}),
+      Schedule::per_iteration(OmpSchedule::Dynamic, {3}),
+      Schedule::per_thread({3}),
+      Schedule::chunked(7, {3}),
+      Schedule::chunked(0, {3}),  // per-thread fallback
+      Schedule::taskloop(5, {3}),
+      Schedule::row_segments({3}),
+      Schedule::row_segments_chunked(11, {3}),
+      Schedule::simd_blocks(4, {3}),
+      Schedule::simd_blocks_chunked(4, total + 1, {3}),
+      Schedule::warp_sim(6, {3}),
+      Schedule::serial_sim(5),
+  };
+  for (const Schedule& s : schedules) {
+    EXPECT_TRUE(testutil::run_scheme_differential(
+        cn, ref, [&](auto&& visit) { run(cn, s, visit); }))
+        << s.describe();
+  }
+}
+
+TEST(Dispatch, SegmentBodyRunsNativeOnSegmentSchemes) {
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval cn = col.bind({{"N", 24}});
+  i64 segment_calls = 0, visited = 0;
+  run(cn, Schedule::row_segments({2}),
+      [&](std::span<const i64> prefix, i64 j0, i64 j1) {
+        (void)prefix;
+#pragma omp atomic
+        ++segment_calls;
+#pragma omp atomic
+        visited += j1 - j0;
+      });
+  EXPECT_EQ(visited, cn.trip_count());
+  // Maximal runs: far fewer body calls than iterations.
+  EXPECT_LE(segment_calls, 25 + 2);
+}
+
+TEST(Dispatch, SegmentBodyIsAcceptedByScalarRangeSchemes) {
+  // A segment body on the scalar chunked scheme: the row walk produces
+  // the same runs, so the adaptation is free and exact.
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval cn = col.bind({{"N", 24}});
+  i64 visited = 0;
+  run(cn, Schedule::chunked(13, {2}), [&](std::span<const i64>, i64 j0, i64 j1) {
+#pragma omp atomic
+    visited += j1 - j0;
+  });
+  EXPECT_EQ(visited, cn.trip_count());
+}
+
+TEST(Dispatch, TupleBodyIsAdaptedToBlockSchemes) {
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval cn = col.bind({{"N", 24}});
+  const auto ref = testutil::odometer_reference(cn);
+  EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, [&](auto&& visit) {
+    run(cn, Schedule::simd_blocks(8, {2}), visit);
+  }));
+}
+
+TEST(Dispatch, MismatchedBodyShapeThrows) {
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval cn = col.bind({{"N", 8}});
+  const auto block_body = [](int, const i64* const*) {};
+  EXPECT_THROW(run(cn, Schedule::per_thread(), block_body), SpecError);
+  EXPECT_THROW(run(cn, Schedule::per_iteration(), block_body), SpecError);
+  EXPECT_THROW(run(cn, Schedule::warp_sim(4), block_body), SpecError);
+  const auto segment_body = [](std::span<const i64>, i64, i64) {};
+  EXPECT_THROW(run(cn, Schedule::per_iteration(), segment_body), SpecError);
+  EXPECT_THROW(run(cn, Schedule::simd_blocks(4), segment_body), SpecError);
+}
+
+TEST(Dispatch, InvalidScheduleParametersThrow) {
+  const Collapsed col = collapse(testutil::triangular_inclusive());
+  const CollapsedEval cn = col.bind({{"N", 8}});
+  const auto noop = [](std::span<const i64>) {};
+  EXPECT_THROW(run(cn, Schedule::simd_blocks(kMaxSimdLanes + 1), noop), SpecError);
+  EXPECT_THROW(run(cn, Schedule::warp_sim(0), noop), SpecError);
+}
+
+// ------------------------------------------------- emitter consumption
+
+TEST(Emission, StyleMappingCoversEveryScheme) {
+  EXPECT_EQ(emission_style(Schedule::per_iteration()), RecoveryStyle::PerIteration);
+  EXPECT_EQ(emission_style(Schedule::per_thread()), RecoveryStyle::PerThread);
+  EXPECT_EQ(emission_style(Schedule::taskloop(4)), RecoveryStyle::PerThread);
+  EXPECT_EQ(emission_style(Schedule::row_segments()), RecoveryStyle::PerThread);
+  EXPECT_EQ(emission_style(Schedule::serial_sim()), RecoveryStyle::PerThread);
+  EXPECT_EQ(emission_style(Schedule::chunked(64)), RecoveryStyle::Chunked);
+  EXPECT_EQ(emission_style(Schedule::row_segments_chunked(64)), RecoveryStyle::Chunked);
+  // chunk <= 0 is the per-thread fallback at runtime, so the emission
+  // lowers to the PerThread style — same descriptor, same scheme.
+  EXPECT_EQ(emission_style(Schedule::chunked(0)), RecoveryStyle::PerThread);
+  EXPECT_EQ(emission_style(Schedule::row_segments_chunked(-1)), RecoveryStyle::PerThread);
+  EXPECT_EQ(emission_style(Schedule::simd_blocks(8)), RecoveryStyle::SimdBlocks);
+  EXPECT_EQ(emission_style(Schedule::simd_blocks_chunked(8, 64)),
+            RecoveryStyle::SimdBlocks);
+  EXPECT_EQ(emission_style(Schedule::warp_sim(32)), RecoveryStyle::PerIteration);
+}
+
+TEST(Emission, OmpScheduleClauseFollowsTheSchedule) {
+  EXPECT_EQ(emission_omp_schedule(Schedule::per_iteration()), "static");
+  EXPECT_EQ(emission_omp_schedule(Schedule::per_iteration(OmpSchedule::Dynamic)),
+            "dynamic");
+  EXPECT_EQ(emission_omp_schedule(Schedule::chunked(256)), "static, 256");
+  EXPECT_EQ(emission_omp_schedule(Schedule::chunked(0)), "static");  // per-thread fallback
+  // §VI-B's coalesced consecutive-iteration deal, expressed in OpenMP.
+  EXPECT_EQ(emission_omp_schedule(Schedule::warp_sim(32)), "static, 1");
+  EXPECT_EQ(emission_omp_schedule(Schedule::per_thread()), "static");
+}
+
+TEST(Emission, WarpScheduleEmitsCoalescedPerIteration) {
+  const NestProgram prog = parse_nest_program(R"(
+name w
+params N
+array double x[N]
+loop i = 0 .. N
+loop j = i .. N
+body { x[i] += 1.0; }
+)");
+  const Collapsed col = collapse(prog.collapsed_nest());
+  EmitOptions opt;
+  opt.schedule = Schedule::warp_sim(32);
+  const std::string src = emit_collapsed_function(prog, col, opt);
+  EXPECT_NE(src.find("schedule(static, 1)"), std::string::npos) << src;
+  EXPECT_EQ(src.find("__nrc_first"), std::string::npos);  // per-iteration shape
+}
+
+}  // namespace
+}  // namespace nrc

@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -63,23 +64,116 @@ struct FuzzTally {
   i64 scheme_runs = 0;
 };
 
-/// One scheme run through the differential harness, with the repro line
-/// and scheme label attached to any divergence.
-#define NRC_CHECK_SCHEME(label, ...)                                        \
-  do {                                                                      \
-    EXPECT_TRUE(testutil::run_scheme_differential(cn, ref, __VA_ARGS__))    \
-        << repro << "scheme=" << (label);                                   \
-    ++tally->scheme_runs;                                                   \
-  } while (0)
-
 using testutil::block_adapter;
 using testutil::segment_adapter;
 
-/// Cross-check every execution scheme over one bound domain.  In full
-/// mode the whole scheme/parameter matrix runs; the long slice instead
-/// rotates a seed-selected slice of it per domain so 10k domains per
-/// class stay affordable under sanitizers (every scheme still runs
-/// thousands of times per class, just not on every domain).
+/// Type-erased tuple visitor / legacy-runner pair, so the whole scheme
+/// matrix fits in one table.
+using Visit = std::function<void(std::span<const i64>)>;
+using LegacyRunner = std::function<void(const CollapsedEval&, const Visit&)>;
+
+/// One entry of the scheme matrix: the Schedule descriptor the unified
+/// dispatcher executes, plus the legacy collapsed_for_* call it must be
+/// equivalent to.  `group` mirrors the long slice's rotation layout.
+struct SchemeCase {
+  int group;
+  std::string label;
+  Schedule sched;
+  LegacyRunner legacy;
+};
+
+/// The scheme/parameter matrix as one table of Schedules (the hostile
+/// parameter classes — chunk/grain > total and near the i64 maximum,
+/// vlen non-divisors, warp_size > total — are unchanged from the
+/// pre-pipeline call-site matrix).  `nt` is the rotation-selected
+/// thread count; in full mode the per-thread group additionally sweeps
+/// all thread counts.
+std::vector<SchemeCase> scheme_matrix(i64 total, int nt, bool full) {
+  std::vector<SchemeCase> m;
+  m.push_back({0, "per_iteration/static", Schedule::per_iteration(OmpSchedule::Static, {nt}),
+               [nt](const CollapsedEval& c, const Visit& v) {
+                 collapsed_for_per_iteration(c, v, OmpSchedule::Static, {nt});
+               }});
+  m.push_back({0, "per_iteration/dynamic",
+               Schedule::per_iteration(OmpSchedule::Dynamic, {nt}),
+               [nt](const CollapsedEval& c, const Visit& v) {
+                 collapsed_for_per_iteration(c, v, OmpSchedule::Dynamic, {nt});
+               }});
+  for (const int t : {1, 3, 8}) {
+    if (!full && t != nt) continue;
+    m.push_back({1, "per_thread t=" + std::to_string(t), Schedule::per_thread({t}),
+                 [t](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_per_thread(c, v, {t});
+                 }});
+  }
+  for (const i64 chunk : {i64{1}, i64{7}, total, total + 9, kHugeChunk}) {
+    m.push_back({2, "chunked c=" + std::to_string(chunk), Schedule::chunked(chunk, {nt}),
+                 [chunk, nt](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_chunked(c, chunk, v, {nt});
+                 }});
+  }
+  for (const i64 grain : {i64{0} /* default */, i64{4}, total + 3, kHugeChunk}) {
+    m.push_back({3, "taskloop g=" + std::to_string(grain), Schedule::taskloop(grain, {nt}),
+                 [grain, nt](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_taskloop(c, grain, v, {nt});
+                 }});
+  }
+  m.push_back({4, "row_segments", Schedule::row_segments({nt}),
+               [nt](const CollapsedEval& c, const Visit& v) {
+                 collapsed_for_row_segments(c, segment_adapter(c, v), nt);
+               }});
+  for (const i64 chunk : {i64{3}, total + 5, kHugeChunk}) {
+    m.push_back({5, "row_segments_chunked c=" + std::to_string(chunk),
+                 Schedule::row_segments_chunked(chunk, {nt}),
+                 [chunk, nt](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_row_segments_chunked(c, chunk, segment_adapter(c, v), nt);
+                 }});
+  }
+  for (const int vlen : {1, 3, 8}) {
+    m.push_back({6, "simd_blocks v=" + std::to_string(vlen),
+                 Schedule::simd_blocks(vlen, {nt}),
+                 [vlen, nt](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_simd_blocks(c, vlen, block_adapter(c, v), nt);
+                 }});
+  }
+  for (const auto& [vlen, chunk] :
+       {std::pair<int, i64>{3, 2}, {4, total + 1}, {8, kHugeChunk}}) {
+    m.push_back({7,
+                 "simd_blocks_chunked v=" + std::to_string(vlen) +
+                     " c=" + std::to_string(chunk),
+                 Schedule::simd_blocks_chunked(vlen, chunk, {nt}),
+                 [vlen, chunk, nt](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_simd_blocks_chunked(c, vlen, chunk, block_adapter(c, v),
+                                                     nt);
+                 }});
+  }
+  for (const i64 W : {i64{1}, i64{2}, i64{7}, total + 6}) {
+    m.push_back({8, "warp W=" + std::to_string(W),
+                 Schedule::warp_sim(static_cast<int>(W), {nt}),
+                 [W, nt](const CollapsedEval& c, const Visit& v) {
+                   collapsed_for_warp_sim(c, static_cast<int>(W), v, nt);
+                 }});
+  }
+  for (const int sims : {1, 3, 1000000}) {
+    m.push_back({9, "serial_sim n=" + std::to_string(sims), Schedule::serial_sim(sims),
+                 [sims](const CollapsedEval& c, const Visit& v) {
+                   collapsed_serial_sim(c, sims, v);
+                 }});
+  }
+  return m;
+}
+
+/// Cross-check every execution scheme over one bound domain, through
+/// BOTH execution paths: nrc::run(cn, Schedule, visit) — the unified
+/// dispatcher, whose internal tuple->segment/block adaptation this
+/// exercises — and the legacy collapsed_for_* wrapper (with the
+/// adapters the legacy body contracts need).  The two paths must
+/// produce the identical tuple multiset and checksum, which pins the
+/// wrappers to the dispatcher.  In full mode the whole matrix runs both
+/// ways; the long slice rotates a seed-selected group per domain and
+/// alternates the path so 10k domains per class stay affordable under
+/// sanitizers (every scheme still runs thousands of times per class
+/// through each path, just not on every domain).
 void check_executors(const CollapsedEval& cn, const std::string& repro, bool full,
                      u64 rotation, FuzzTally* tally) {
   const i64 total = cn.trip_count();
@@ -88,90 +182,23 @@ void check_executors(const CollapsedEval& cn, const std::string& repro, bool ful
 
   const int thread_counts[] = {1, 3, 8};
   const int nt = thread_counts[rotation % 3];
+  const int group = static_cast<int>(rotation % 10);
+  const bool legacy_path = (rotation / 10) % 2 == 1;
 
-  // --- §V scalar schemes -------------------------------------------------
-  if (full || rotation % 10 == 0) {
-    NRC_CHECK_SCHEME("per_iteration/static", [&](auto&& visit) {
-      collapsed_for_per_iteration(cn, visit, OmpSchedule::Static, {nt});
-    });
-    NRC_CHECK_SCHEME("per_iteration/dynamic", [&](auto&& visit) {
-      collapsed_for_per_iteration(cn, visit, OmpSchedule::Dynamic, {nt});
-    });
-  }
-  if (full || rotation % 10 == 1) {
-    for (const int t : thread_counts) {
-      if (!full && t != nt) continue;
-      NRC_CHECK_SCHEME("per_thread", [&](auto&& visit) {
-        collapsed_for_per_thread(cn, visit, {t});
-      });
+  for (const SchemeCase& sc : scheme_matrix(total, nt, full)) {
+    if (!full && sc.group != group) continue;
+    if (full || !legacy_path) {
+      EXPECT_TRUE(testutil::run_scheme_differential(
+          cn, ref, [&](auto&& visit) { nrc::run(cn, sc.sched, visit); }))
+          << repro << "scheme=" << sc.label << " path=nrc::run("
+          << sc.sched.describe() << ")";
+      ++tally->scheme_runs;
     }
-  }
-  if (full || rotation % 10 == 2) {
-    for (const i64 chunk : {i64{1}, i64{7}, total, total + 9, kHugeChunk}) {
-      NRC_CHECK_SCHEME("chunked c=" + std::to_string(chunk), [&](auto&& visit) {
-        collapsed_for_chunked(cn, chunk, visit, {nt});
-      });
-    }
-  }
-  if (full || rotation % 10 == 3) {
-    for (const i64 grain : {i64{0} /* default */, i64{4}, total + 3, kHugeChunk}) {
-      NRC_CHECK_SCHEME("taskloop g=" + std::to_string(grain), [&](auto&& visit) {
-        collapsed_for_taskloop(cn, grain, visit, {nt});
-      });
-    }
-  }
-
-  // --- row segments (§V production form) ---------------------------------
-  if (full || rotation % 10 == 4) {
-    NRC_CHECK_SCHEME("row_segments", [&](auto&& visit) {
-      collapsed_for_row_segments(cn, segment_adapter(cn, visit), nt);
-    });
-  }
-  if (full || rotation % 10 == 5) {
-    for (const i64 chunk : {i64{3}, total + 5, kHugeChunk}) {
-      NRC_CHECK_SCHEME("row_segments_chunked c=" + std::to_string(chunk),
-                       [&](auto&& visit) {
-                         collapsed_for_row_segments_chunked(
-                             cn, chunk, segment_adapter(cn, visit), nt);
-                       });
-    }
-  }
-
-  // --- SIMD lane blocks (§VI-A), vlen deliberately off the row sizes -----
-  if (full || rotation % 10 == 6) {
-    for (const int vlen : {1, 3, 8}) {
-      NRC_CHECK_SCHEME("simd_blocks v=" + std::to_string(vlen), [&](auto&& visit) {
-        collapsed_for_simd_blocks(cn, vlen, block_adapter(cn, visit), nt);
-      });
-    }
-  }
-  if (full || rotation % 10 == 7) {
-    for (const auto& [vlen, chunk] :
-         {std::pair<int, i64>{3, 2}, {4, total + 1}, {8, kHugeChunk}}) {
-      NRC_CHECK_SCHEME(
-          "simd_blocks_chunked v=" + std::to_string(vlen) + " c=" + std::to_string(chunk),
-          [&](auto&& visit) {
-            collapsed_for_simd_blocks_chunked(cn, vlen, chunk,
-                                              block_adapter(cn, visit), nt);
-          });
-    }
-  }
-
-  // --- warp simulation (§VI-B), including warp_size > total --------------
-  if (full || rotation % 10 == 8) {
-    for (const i64 W : {i64{1}, i64{2}, i64{7}, total + 6}) {
-      NRC_CHECK_SCHEME("warp W=" + std::to_string(W), [&](auto&& visit) {
-        collapsed_for_warp_sim(cn, static_cast<int>(W), visit, nt);
-      });
-    }
-  }
-
-  // --- serial simulators (Fig. 10 protocol), n_chunks beyond total -------
-  if (full || rotation % 10 == 9) {
-    for (const int sims : {1, 3, 1000000}) {
-      NRC_CHECK_SCHEME("serial_sim n=" + std::to_string(sims), [&](auto&& visit) {
-        collapsed_serial_sim(cn, sims, visit);
-      });
+    if (full || legacy_path) {
+      EXPECT_TRUE(testutil::run_scheme_differential(
+          cn, ref, [&](auto&& visit) { sc.legacy(cn, Visit(visit)); }))
+          << repro << "scheme=" << sc.label << " path=legacy";
+      ++tally->scheme_runs;
     }
   }
 }
@@ -376,13 +403,13 @@ int roundtrip_case(const FuzzNest& fc) {
       EmitOptions opt;
     };
     EmitOptions chunked;
-    chunked.style = RecoveryStyle::Chunked;
-    chunked.chunk = 5;
+    chunked.schedule = Schedule::chunked(5);
     EmitOptions simd;
-    simd.style = RecoveryStyle::SimdBlocks;
-    simd.vlen = 4;
+    simd.schedule = Schedule::simd_blocks(4);
     EmitOptions periter;
-    periter.style = RecoveryStyle::PerIteration;
+    periter.schedule = Schedule::per_iteration();
+    EmitOptions warp;
+    warp.schedule = Schedule::warp_sim(4);
     const StyleCase styles[] = {{"thread", {}},
                                 {"iter", periter},
                                 {"chunk", chunked},
@@ -408,9 +435,12 @@ int roundtrip_case(const FuzzNest& fc) {
 
     // OpenMP emission: order-insensitive checksum (PerThread and
     // Chunked exercise the firstprivate-recovery and per-chunk-recovery
-    // parallel shapes; SimdBlocks stays serial above because an atomic
-    // inside its `omp simd` lane loop would be non-conforming).
-    for (const StyleCase& sc : {StyleCase{"thread_omp", {}}, StyleCase{"chunk_omp", chunked}}) {
+    // parallel shapes; warp_sim exercises the Schedule-derived
+    // schedule(static, 1) coalesced emission; SimdBlocks stays serial
+    // above because an atomic inside its `omp simd` lane loop would be
+    // non-conforming).
+    for (const StyleCase& sc : {StyleCase{"thread_omp", {}}, StyleCase{"chunk_omp", chunked},
+                                StyleCase{"warp_omp", warp}}) {
       EmitOptions opt = sc.opt;
       opt.parallel = true;
       prog.body = checksum_body(fc.nest);
