@@ -137,20 +137,22 @@ std::string Collapsed::describe() const {
     }
     const LevelSolverKind kind = planned_solver(lf, k, c);
     s += "    lowered solver: " + std::string(level_solver_kind_name(kind));
-    // Quadratic, Ferrari and bytecode-program levels evaluate 4 pcs per
-    // SIMD lane in the batched entry points (recover4 / recover_blocks4);
-    // Ferrari levels additionally demote to the bytecode program at
-    // points where the selected branch goes genuinely complex.
+    // Quadratic, cubic, Ferrari and bytecode-program levels evaluate one
+    // lane group of pcs per call in the batched entry points (recover4 /
+    // recover8 / recover_blocks4 / recover_blocks8); Ferrari levels
+    // additionally demote to the bytecode program at points where the
+    // selected branch goes genuinely complex.
     if (kind == LevelSolverKind::Quadratic || kind == LevelSolverKind::Quartic ||
         kind == LevelSolverKind::Program)
-      s += " [lane-batched x" + std::to_string(simd::kLanes) + "]";
+      s += " [lane-batched x" + std::to_string(simd::kGroupLanes) + "]";
     if (kind == LevelSolverKind::Quartic) s += " [bytecode demotion]";
     s += "\n";
   }
-  s += "runtime simd abi: " + std::string(simd::abi_name()) + " (" +
-       std::to_string(simd::kLanes) +
-       " lanes; lane-strided block fills, lane-batched quadratic, ferrari "
-       "and bytecode-program solvers)\n";
+  s += "runtime simd abi: " + std::string(simd::runtime_abi()) + " (compiled " +
+       std::string(simd::abi_name()) + ", " + std::to_string(simd::kGroupLanes) +
+       "-lane groups; masked lane-strided block fills, lane-batched "
+       "quadratic, cardano, ferrari and bytecode-program solvers, "
+       "polynomial lane trig)\n";
   s += "guard policy: proven-exact f64 where the bind-time slot-magnitude "
        "proof holds, checked-i128 fallback (all engines)\n";
   return s;
@@ -648,8 +650,10 @@ void CollapsedEval::recover(i64 pc, std::span<i64> idx, RecoveryStats* stats) co
                     &prank_flat_[static_cast<size_t>(c_) - 1], f64_guards_);
 }
 
-void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
-                                 RecoveryStats* stats) const {
+template <int W>
+void CollapsedEval::solve_level_lanes(int k, i64* pts, const i64* pcs,
+                                      RecoveryStats* stats) const {
+  static_assert(W == 4 || W == 8, "lane group width");
   const LevelSolver& sv = solvers_[static_cast<size_t>(k)];
   auto lane_pt = [&](int l) {
     return std::span<i64>(pts + static_cast<size_t>(l) * kMaxSlots, nslots_);
@@ -659,7 +663,7 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
   // overflow — only exact binary search can recover those.
   const int deg = static_cast<int>(sv.scaled.size()) - 1;
   if (deg < 1) {
-    for (int l = 0; l < 4; ++l) {
+    for (int l = 0; l < W; ++l) {
       search_level(k, lane_pt(l), pcs[l]);
       if (stats) ++stats->fallback;
     }
@@ -668,23 +672,24 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
 
   // Exact guard coefficients per lane (needed by the guard regardless of
   // how the estimate is produced).  When bind() proved the exact-double
-  // path (guards_f64), all four lanes evaluate each coefficient in one
+  // path (guards_f64), all lanes evaluate each coefficient in one
   // vectorizable multiply-add sweep with no 128-bit arithmetic;
   // otherwise checked i128, where a lane whose exact arithmetic leaves
   // the checked range drops to the scalar solver — astronomically rare,
   // still exact.
   const bool f64 = sv.guards_f64 && f64_guards_;
-  double Ad[4][5] = {};  // filled (and read) only on the f64 path
-  i128 A[4][5];
-  bool lane_ok[4] = {true, true, true, true};
+  double Ad[W][5] = {};  // filled (and read) only on the f64 path
+  i128 A[W][5];
+  bool lane_ok[W];
+  for (int l = 0; l < W; ++l) lane_ok[l] = true;
   if (f64) {
     for (int e = 0; e <= deg; ++e) {
-      double col[4];
-      sv.flat[static_cast<size_t>(e)].eval_f64_lanes(pts, kMaxSlots, col);
-      for (int l = 0; l < 4; ++l) Ad[l][e] = col[l];
+      double col[W];
+      sv.flat[static_cast<size_t>(e)].template eval_f64_lanes<W>(pts, kMaxSlots, col);
+      for (int l = 0; l < W; ++l) Ad[l][e] = col[l];
     }
   } else {
-    for (int l = 0; l < 4; ++l) {
+    for (int l = 0; l < W; ++l) {
       try {
         for (int e = 0; e <= deg; ++e)
           A[l][e] = sv.flat[static_cast<size_t>(e)].usable()
@@ -701,14 +706,14 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
 
   // Per-lane estimates; est_ok lanes finish through the scalar exact
   // guard, the rest through the scalar solver / binary search.
-  i64 est[4] = {0, 0, 0, 0};
-  bool est_ok[4] = {false, false, false, false};
+  i64 est[W] = {};
+  bool est_ok[W] = {};
   switch (sv.kind) {
     case LevelSolverKind::ExactDivision: {
       // Exact per lane (no floating point, no guard) — same semantics as
       // the scalar solver.  The f64 coefficients are exact integers, so
       // materializing them back into i128 keeps the division exact.
-      for (int l = 0; l < 4; ++l) {
+      for (int l = 0; l < W; ++l) {
         if (!lane_ok[l]) continue;
         if (f64) {
           A[l][0] = static_cast<i128>(Ad[l][0]);
@@ -728,7 +733,7 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
         if (stats) ++stats->closed_form;
         lane_pt(l)[static_cast<size_t>(k)] = x;
       }
-      for (int l = 0; l < 4; ++l)
+      for (int l = 0; l < W; ++l)
         if (!lane_ok[l]) {
           search_level(k, lane_pt(l), pcs[l]);
           if (stats) ++stats->fallback;
@@ -736,11 +741,16 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
       return;
     }
     case LevelSolverKind::Quadratic: {
-      // The quadratic formula across the four lanes at once: per-lane
+      // The quadratic formula across the lanes at once: per-lane
       // discriminants (double on the f64 path — the estimate doesn't
       // need exactness, the guard does), then one vector sqrt / divide.
-      double dA1[4] = {0, 0, 0, 0}, dA2[4] = {1, 1, 1, 1}, ddisc[4] = {0, 0, 0, 0};
-      for (int l = 0; l < 4; ++l) {
+      double dA1[W], dA2[W], ddisc[W];
+      for (int l = 0; l < W; ++l) {
+        dA1[l] = 0.0;
+        dA2[l] = 1.0;
+        ddisc[l] = 0.0;
+      }
+      for (int l = 0; l < W; ++l) {
         if (!lane_ok[l]) continue;
         if (f64) {
           const double disc = Ad[l][1] * Ad[l][1] - 4.0 * Ad[l][2] * Ad[l][0];
@@ -768,43 +778,58 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
           lane_ok[l] = false;
         }
       }
-      const simd::vf64 s = simd::sqrt(simd::set(ddisc[0], ddisc[1], ddisc[2], ddisc[3]));
-      const simd::vf64 a1 = simd::set(dA1[0], dA1[1], dA1[2], dA1[3]);
-      const simd::vf64 num =
+      const simd::batch<W> s = simd::sqrt(simd::load<W>(ddisc));
+      const simd::batch<W> a1 = simd::load<W>(dA1);
+      const simd::batch<W> num =
           sv.branch == 1 ? simd::sub(simd::neg(a1), s) : simd::add(simd::neg(a1), s);
-      const simd::vf64 root = simd::div(
-          num, simd::mul(simd::set1(2.0), simd::set(dA2[0], dA2[1], dA2[2], dA2[3])));
-      const simd::vf64 flo = simd::floor(simd::add(root, simd::set1(1e-9)));
-      for (int l = 0; l < 4; ++l) {
+      const simd::batch<W> root =
+          simd::div(num, simd::mul(simd::splat<W>(2.0), simd::load<W>(dA2)));
+      const simd::batch<W> flo = simd::floor(simd::add(root, simd::splat<W>(1e-9)));
+      double rootl[W], flol[W];
+      simd::store(rootl, root);
+      simd::store(flol, flo);
+      for (int l = 0; l < W; ++l) {
         if (!lane_ok[l]) continue;
-        const double r = simd::lane(root, l);
+        const double r = rootl[l];
         if (!std::isfinite(r) || r < -9.2e18 || r > 9.2e18) continue;
-        est[l] = static_cast<i64>(simd::lane(flo, l));
+        est[l] = static_cast<i64>(flol[l]);
         est_ok[l] = true;
       }
       break;
     }
     case LevelSolverKind::Cubic: {
-      // Double-precision Cardano per lane (the scalar engine runs long
-      // double; the guard absorbs the difference).
-      for (int l = 0; l < 4; ++l) {
-        if (!lane_ok[l]) continue;
-        est_ok[l] = f64 ? cubic_estimate<double>(Ad[l], sv.branch, &est[l])
-                        : cubic_estimate<double>(A[l], sv.branch, &est[l]);
+      // Lane-batched Cardano in double (the scalar engine runs long
+      // double; the guard absorbs the difference).  Both discriminant
+      // signs stay in-register — polynomial vcos/vatan2 on the Viete
+      // lanes, Halley vcbrt on the one-real-root lanes — unless
+      // simd::set_vector_trig(false) routes it back through libm.
+      if (f64) {
+        cubic_estimate_lanes<W>(&Ad[0][0], 5, sv.branch, est, est_ok);
+      } else {
+        double Ac[W][5] = {};  // dead lanes stay zero: a3 == 0 rejects them
+        for (int l = 0; l < W; ++l)
+          if (lane_ok[l])
+            for (int e = 0; e <= deg; ++e) Ac[l][e] = static_cast<double>(A[l][e]);
+        cubic_estimate_lanes<W>(&Ac[0][0], 5, sv.branch, est, est_ok);
+        for (int l = 0; l < W; ++l) est_ok[l] = est_ok[l] && lane_ok[l];
       }
       break;
     }
     case LevelSolverKind::Quartic: {
-      // Guarded real-arithmetic Ferrari: on the proven-f64 path all four
-      // lanes run the vectorized estimate (only the resolvent's Cardano
-      // trig is per lane); otherwise per-lane double on the exact i128
-      // coefficients.  Lanes the real path cannot follow (est_ok false)
-      // demote to the bytecode program in the finish loop below.
+      // Guarded real-arithmetic Ferrari: on the proven-f64 path all
+      // lanes run the vectorized estimate (the resolvent's Cardano trig
+      // included, via cardano_branch_lanes); otherwise per-lane double
+      // on the exact i128 coefficients.  Lanes the real path cannot
+      // follow (est_ok false) demote to the bytecode program in the
+      // finish loop below.
       if (demote_quartics_) break;  // test hook: force the demotion path
       if (f64) {
-        ferrari_estimate4(&Ad[0][0], 5, sv.branch, est, est_ok);
+        if constexpr (W == 4)
+          ferrari_estimate4(&Ad[0][0], 5, sv.branch, est, est_ok);
+        else
+          ferrari_estimate8(&Ad[0][0], 5, sv.branch, est, est_ok);
       } else {
-        for (int l = 0; l < 4; ++l) {
+        for (int l = 0; l < W; ++l) {
           if (!lane_ok[l]) continue;
           est_ok[l] = ferrari_estimate<double>(A[l], sv.branch, &est[l]);
         }
@@ -812,10 +837,13 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
       break;
     }
     case LevelSolverKind::Program: {
-      // The bytecode program evaluates all four lanes in one pass.
-      RootValue z[4];
-      sv.program.eval4(pts, kMaxSlots, z);
-      for (int l = 0; l < 4; ++l) {
+      // The bytecode program evaluates all lanes in one pass.
+      RootValue z[W];
+      if constexpr (W == 4)
+        sv.program.eval4(pts, kMaxSlots, z);
+      else
+        sv.program.eval8(pts, kMaxSlots, z);
+      for (int l = 0; l < W; ++l) {
         if (!lane_ok[l] || !z[l].finite() || z[l].re < -9.2e18L || z[l].re > 9.2e18L)
           continue;
         est[l] = static_cast<i64>(std::floor(z[l].re + 1e-9L));
@@ -824,7 +852,7 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
       break;
     }
     case LevelSolverKind::Interpreted: {
-      for (int l = 0; l < 4; ++l) {
+      for (int l = 0; l < W; ++l) {
         if (!lane_ok[l]) continue;
         const cld z = closed_[static_cast<size_t>(k)].eval(
             std::span<const i64>(pts + static_cast<size_t>(l) * kMaxSlots, nslots_));
@@ -841,7 +869,7 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
   }
 
   const bool quartic = sv.kind == LevelSolverKind::Quartic;
-  for (int l = 0; l < 4; ++l) {
+  for (int l = 0; l < W; ++l) {
     if (!lane_ok[l]) {
       solve_level(k, lane_pt(l), pcs[l], stats);
       continue;
@@ -891,28 +919,65 @@ void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
   }
 }
 
-void CollapsedEval::recover4(const i64 pcs[4], std::span<i64> out,
-                             RecoveryStats* stats) const {
-  const size_t d = static_cast<size_t>(c_);
-  if (out.size() < 4 * d)
-    throw SpecError("recover4: output span too small (needs 4*depth())");
-  for (int l = 0; l < 4; ++l)
-    if (pcs[l] < 1 || pcs[l] > total_)
-      throw SolveError("recover4: pc outside [1, trip_count()]");
+void CollapsedEval::solve_level4(int k, i64* pts, const i64* pcs,
+                                 RecoveryStats* stats) const {
+  solve_level_lanes<4>(k, pts, pcs, stats);
+}
 
-  i64 pts[4][kMaxSlots];
-  for (int l = 0; l < 4; ++l) {
+template <int W>
+void CollapsedEval::recover_lanes(const i64* pcs, std::span<i64> out,
+                                  RecoveryStats* stats) const {
+  constexpr const char* kName = W == 4 ? "recover4" : "recover8";
+  const size_t d = static_cast<size_t>(c_);
+  if (out.size() < W * d)
+    throw SpecError(std::string(kName) + ": output span too small (needs W*depth())");
+  for (int l = 0; l < W; ++l)
+    if (pcs[l] < 1 || pcs[l] > total_)
+      throw SolveError(std::string(kName) + ": pc outside [1, trip_count()]");
+
+  i64 pts[W][kMaxSlots];
+  for (int l = 0; l < W; ++l) {
     std::memcpy(pts[l], base_.data(), nslots_ * sizeof(i64));
     pts[l][pc_slot_] = pcs[l];
   }
-  for (int k = 0; k + 1 < c_; ++k) solve_level4(k, &pts[0][0], pcs, stats);
-  for (int l = 0; l < 4; ++l) {
+  for (int k = 0; k + 1 < c_; ++k) solve_level_lanes<W>(k, &pts[0][0], pcs, stats);
+
+  // Innermost level: linear with unit slope, i = lb + (pc - R(prefix, lb)).
+  // On the proven-exact-f64 stream one lane-batched multiply-add sweep
+  // replaces W scalar rank evaluations (the per-lane recover_innermost
+  // loop was the 8-lane engine's single largest scalar cost on deep
+  // nests); anything else runs the per-lane scalar path unchanged.
+  const int kl = c_ - 1;
+  const FlatPoly& inner_flat = prank_flat_[d - 1];
+  if (f64_guards_ && inner_flat.exact_f64()) {
+    double r0[W];
+    for (int l = 0; l < W; ++l)
+      pts[l][kl] = bounds_lo_[static_cast<size_t>(kl)].eval(pts[l]);
+    inner_flat.template eval_f64_lanes<W>(&pts[0][0], kMaxSlots, r0);
+    for (int l = 0; l < W; ++l) {
+      std::span<i64> row = out.subspan(static_cast<size_t>(l) * d, d);
+      for (int k = 0; k + 1 < c_; ++k) row[static_cast<size_t>(k)] = pts[l][k];
+      row[d - 1] = pts[l][kl] + (pcs[l] - static_cast<i64>(r0[l]));
+    }
+    return;
+  }
+  for (int l = 0; l < W; ++l) {
     std::span<i64> pt(pts[l], nslots_);
     std::span<i64> row = out.subspan(static_cast<size_t>(l) * d, d);
     for (int k = 0; k + 1 < c_; ++k) row[static_cast<size_t>(k)] = pts[l][k];
     recover_innermost(pt, row, pcs[l], prank_[d - 1], &prank_flat_[d - 1],
                       f64_guards_);
   }
+}
+
+void CollapsedEval::recover4(const i64 pcs[4], std::span<i64> out,
+                             RecoveryStats* stats) const {
+  recover_lanes<4>(pcs, out, stats);
+}
+
+void CollapsedEval::recover8(const i64 pcs[8], std::span<i64> out,
+                             RecoveryStats* stats) const {
+  recover_lanes<8>(pcs, out, stats);
 }
 
 i64 CollapsedEval::recover_block(i64 pc_lo, i64 n, std::span<i64> out,
@@ -972,34 +1037,47 @@ i64 CollapsedEval::recover_block_lanes(i64 pc_lo, i64 n, std::span<i64> out, i64
   return m;
 }
 
-void CollapsedEval::recover_blocks4(const i64 pcs[4], i64 n, std::span<i64> out,
-                                    i64 stride, i64 rows[4], RecoveryStats* stats) const {
+template <int W>
+void CollapsedEval::recover_blocks_lanes(const i64* pcs, i64 n, std::span<i64> out,
+                                         i64 stride, i64* rows,
+                                         RecoveryStats* stats) const {
+  constexpr const char* kName = W == 4 ? "recover_blocks4" : "recover_blocks8";
   const size_t d = static_cast<size_t>(c_);
   if (n <= 0) {
-    for (int b = 0; b < 4; ++b) rows[b] = 0;
+    for (int b = 0; b < W; ++b) rows[b] = 0;
     return;
   }
-  if (out.size() < 4 * d * static_cast<size_t>(stride))
-    throw SpecError("recover_blocks4: output span too small for 4*depth()*stride");
-  for (int b = 0; b < 4; ++b) {
+  if (out.size() < W * d * static_cast<size_t>(stride))
+    throw SpecError(std::string(kName) + ": output span too small for W*depth()*stride");
+  for (int b = 0; b < W; ++b) {
     if (pcs[b] < 1 || pcs[b] > total_)
-      throw SolveError("recover_blocks4: pc outside [1, trip_count()]");
+      throw SolveError(std::string(kName) + ": pc outside [1, trip_count()]");
     rows[b] = std::min<i64>(n, total_ - pcs[b] + 1);
     if (stride < rows[b])
-      throw SpecError("recover_blocks4: stride smaller than the produced rows");
+      throw SpecError(std::string(kName) + ": stride smaller than the produced rows");
   }
 
-  // One lane-parallel solve covers all four block starts; each block
-  // then fills its lane-strided tile by row arithmetic.
-  i64 seed[4 * kMaxDepth];
-  recover4(pcs, {seed, 4 * d}, stats);
-  for (int b = 0; b < 4; ++b) {
+  // One lane-parallel solve covers all block starts; each block then
+  // fills its lane-strided tile by row arithmetic.
+  i64 seed[W * kMaxDepth];
+  recover_lanes<W>(pcs, {seed, W * d}, stats);
+  for (int b = 0; b < W; ++b) {
     i64 idx[kMaxDepth];
     std::memcpy(idx, seed + static_cast<size_t>(b) * d, d * sizeof(i64));
     fill_rows_lanes({idx, d}, pcs[b], pcs[b] + rows[b] - 1,
                     out.data() + static_cast<size_t>(b) * d * static_cast<size_t>(stride),
                     stride);
   }
+}
+
+void CollapsedEval::recover_blocks4(const i64 pcs[4], i64 n, std::span<i64> out,
+                                    i64 stride, i64 rows[4], RecoveryStats* stats) const {
+  recover_blocks_lanes<4>(pcs, n, out, stride, rows, stats);
+}
+
+void CollapsedEval::recover_blocks8(const i64 pcs[8], i64 n, std::span<i64> out,
+                                    i64 stride, i64 rows[8], RecoveryStats* stats) const {
+  recover_blocks_lanes<8>(pcs, n, out, stride, rows, stats);
 }
 
 void CollapsedEval::recover_interpreted(i64 pc, std::span<i64> idx,

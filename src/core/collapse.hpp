@@ -228,6 +228,15 @@ class CollapsedEval {
   /// caveat as recover()).
   void recover4(const i64 pcs[4], std::span<i64> out, RecoveryStats* stats = nullptr) const;
 
+  /// 8-lane counterpart of recover4: the closed-form levels evaluate 8
+  /// pcs at once on the wide simd_abi batch (one 512-bit vector on the
+  /// AVX-512 leg, two 256-bit halves on AVX2, plain doubles on the
+  /// scalar leg), with the same per-lane exact integer guard — tuples
+  /// are bit-identical to eight recover() calls on every ABI.  `out`
+  /// receives 8 rows of depth() values (row-major).  Zero heap
+  /// allocation except on Interpreted levels (same caveat as recover()).
+  void recover8(const i64 pcs[8], std::span<i64> out, RecoveryStats* stats = nullptr) const;
+
   /// SIMD-batched block recovery: 4 blocks of up to n consecutive pcs
   /// each, starting at pcs[0..3].  The 4 block-start solves run
   /// lane-parallel (recover4), then each block fills lane-strided like
@@ -239,6 +248,11 @@ class CollapsedEval {
   /// caveat as recover()).
   void recover_blocks4(const i64 pcs[4], i64 n, std::span<i64> out, i64 stride,
                        i64 rows[4], RecoveryStats* stats = nullptr) const;
+
+  /// 8-block counterpart of recover_blocks4 (block starts solved with
+  /// recover8; out must hold 8*depth()*stride values).
+  void recover_blocks8(const i64 pcs[8], i64 n, std::span<i64> out, i64 stride,
+                       i64 rows[8], RecoveryStats* stats = nullptr) const;
 
   /// Seed-era recovery through the generic CompiledExpr interpreter
   /// (complex arithmetic, heap-allocated value vector).  Kept as the
@@ -346,7 +360,16 @@ class CollapsedEval {
 
   i64 search_level(int k, std::span<i64> pt, i64 pc) const;
   i64 solve_level(int k, std::span<i64> pt, i64 pc, RecoveryStats* stats) const;
+  /// Width-generic lane-batched level solve (W = 4 or 8) behind
+  /// solve_level4 and the recover4/recover8 entry points.
+  template <int W>
+  void solve_level_lanes(int k, i64* pts, const i64* pcs, RecoveryStats* stats) const;
   void solve_level4(int k, i64* pts, const i64* pcs, RecoveryStats* stats) const;
+  template <int W>
+  void recover_lanes(const i64* pcs, std::span<i64> out, RecoveryStats* stats) const;
+  template <int W>
+  void recover_blocks_lanes(const i64* pcs, i64 n, std::span<i64> out, i64 stride,
+                            i64* rows, RecoveryStats* stats) const;
   /// Correct `estimate` against the exact level equation; false when the
   /// estimate was off by more than kMaxCorrection (no stats recorded,
   /// pt[k] unspecified) — the caller demotes or searches.

@@ -143,22 +143,25 @@ class FlatPoly {
     return acc / static_cast<double>(den_);
   }
 
-  /// Four-lane eval_f64: lane l reads the row pts + l*stride.
-  void eval_f64_lanes(const i64* pts, size_t stride, double out[4]) const {
-    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  /// Lane-batched eval_f64 (W = 4 or 8): lane l reads the row
+  /// pts + l*stride.
+  template <int W = 4>
+  void eval_f64_lanes(const i64* pts, size_t stride, double* out) const {
+    double acc[W] = {};
     for (int i = 0; i < n_; ++i) {
       const Term& t = t_[static_cast<size_t>(i)];
       const double c = static_cast<double>(t.c);
-      double v[4] = {c, c, c, c};
+      double v[W];
+      for (int l = 0; l < W; ++l) v[l] = c;
       for (int fct = 0; fct < kMaxFactors && t.s[fct] >= 0; ++fct) {
         const size_t s = static_cast<size_t>(static_cast<int>(t.s[fct]));
-        for (int l = 0; l < 4; ++l)
+        for (int l = 0; l < W; ++l)
           v[l] *= static_cast<double>(pts[static_cast<size_t>(l) * stride + s]);
       }
-      for (int l = 0; l < 4; ++l) acc[l] += v[l];
+      for (int l = 0; l < W; ++l) acc[l] += v[l];
     }
     const double den = static_cast<double>(den_);
-    for (int l = 0; l < 4; ++l) out[l] = acc[l] / den;
+    for (int l = 0; l < W; ++l) out[l] = acc[l] / den;
   }
 
  private:

@@ -294,34 +294,44 @@ void run_simd_blocks(const CollapsedEval& cn, int vlen, int nt, Body& body) {
 }
 
 /// §V chunked scheme over lane blocks: chunks are dealt round-robin in
-/// groups of 4, and each group's chunk-start recoveries run as one
-/// lane-batched solve (4 pcs per SIMD lane).  Tail groups with fewer
-/// than 4 chunks fall back to scalar per-chunk recovery.
+/// lane groups (8 on the AVX-512 leg, 4 elsewhere — simd::kGroupLanes),
+/// and each group's chunk-start recoveries run as one lane-batched
+/// solve.  A tail group of 4..7 chunks on the wide leg still batches
+/// its first four starts through recover4; only the final <4 starts
+/// recover scalar.
 template <class Body>
 void run_simd_blocks_chunked(const CollapsedEval& cn, int vlen, i64 chunk, int nt,
                              Body& body) {
+  constexpr i64 G = simd::kGroupLanes;
   const i64 total = cn.trip_count();
   const i64 nchunks = chunk_count(total, chunk);
-  const i64 ngroups = (nchunks + 3) / 4;
+  const i64 ngroups = (nchunks + (G - 1)) / G;
   const size_t d = static_cast<size_t>(cn.depth());
 #pragma omp parallel num_threads(nt)
   {
     const i64 t = omp_get_thread_num();
     const i64 np = omp_get_num_threads();
     for (i64 g = t; g < ngroups; g += np) {
-      const i64 q0 = g * 4;
-      const i64 in_group = std::min<i64>(4, nchunks - q0);
-      i64 seed[4 * kMaxDepth];
-      if (in_group == 4) {
-        const i64 pcs[4] = {1 + q0 * chunk, 1 + (q0 + 1) * chunk, 1 + (q0 + 2) * chunk,
-                            1 + (q0 + 3) * chunk};
+      const i64 q0 = g * G;
+      const i64 in_group = std::min<i64>(G, nchunks - q0);
+      i64 seed[G * kMaxDepth];
+      i64 pcs[G];
+      for (i64 b = 0; b < in_group; ++b) pcs[b] = 1 + (q0 + b) * chunk;
+      i64 solved = 0;
+      if (in_group == G) {
+        if constexpr (G == 8)
+          cn.recover8(pcs, {seed, static_cast<size_t>(G) * d});
+        else
+          cn.recover4(pcs, {seed, static_cast<size_t>(G) * d});
+        solved = G;
+      } else if (in_group >= 4) {
         cn.recover4(pcs, {seed, 4 * d});
-      } else {
-        for (i64 b = 0; b < in_group; ++b)
-          cn.recover(1 + (q0 + b) * chunk, {seed + b * d, d});
+        solved = 4;
       }
+      for (i64 b = solved; b < in_group; ++b)
+        cn.recover(pcs[b], {seed + b * d, d});
       for (i64 b = 0; b < in_group; ++b) {
-        const i64 lo = 1 + (q0 + b) * chunk;
+        const i64 lo = pcs[b];
         const i64 hi = chunk_end(total, lo, chunk);
         i64 idx[kMaxDepth];
         std::memcpy(idx, seed + b * d, d * sizeof(i64));

@@ -150,10 +150,12 @@ std::string Schedule::describe() const {
       break;
     case Scheme::SimdBlocks:
       field("vlen", std::to_string(vlen));
+      field("abi", simd::runtime_abi());
       break;
     case Scheme::SimdBlocksChunked:
       field("vlen", std::to_string(vlen));
       field("chunk", std::to_string(chunk));
+      field("abi", simd::runtime_abi());
       break;
     case Scheme::WarpSim:
       field("warp_size", std::to_string(warp_size));
@@ -214,12 +216,13 @@ Schedule Schedule::auto_select(const CollapsedEval& cn, const AutoSelectHints& h
   const i64 chunk = default_chunk(total, nt);
   if (h.block_body && !high_degree && cn.depth() >= 2) {
     // Cheap recoveries + a SIMD-shaped body: lane blocks straight out of
-    // the recovery row walk, chunk starts solved 4 per SIMD lane.  The
-    // default block width comes from the compiled simd abi — two
-    // vectors per block amortize the row-walk bookkeeping over the
-    // lane stores.
+    // the recovery row walk, chunk starts solved one lane group per
+    // batched solve.  The default block width comes from the compiled
+    // simd abi's group width (8 on the AVX-512 leg, 4 elsewhere) — two
+    // groups per block amortize the row-walk bookkeeping over the lane
+    // stores.
     s.scheme = Scheme::SimdBlocksChunked;
-    s.vlen = h.vlen > 0 ? h.vlen : 2 * simd::kLanes;
+    s.vlen = h.vlen > 0 ? h.vlen : 2 * simd::kGroupLanes;
     s.chunk = chunk;
     return s;
   }

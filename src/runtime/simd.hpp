@@ -16,8 +16,9 @@
 //
 // collapsed_for_simd_blocks splits the domain per thread (one costly
 // recovery per thread); collapsed_for_simd_blocks_chunked deals chunks
-// round-robin in groups of 4 whose start solves run 4 pcs per SIMD
-// lane (CollapsedEval::recover4), the §V chunked scheme with its
+// round-robin in lane groups of simd::kGroupLanes (8 on the AVX-512
+// leg, 4 elsewhere) whose start solves run one pc per SIMD lane
+// (CollapsedEval::recover8 / recover4), the §V chunked scheme with its
 // per-chunk recovery cost cut by the lane batch.
 
 #include "pipeline/dispatch.hpp"
@@ -31,10 +32,11 @@ void collapsed_for_simd_blocks(const CollapsedEval& cn, int vlen, BlockBody&& bo
 }
 
 /// §V chunked scheme over lane blocks: chunks are dealt round-robin in
-/// groups of 4, and each group's chunk-start recoveries run as one
-/// lane-batched solve (4 pcs per SIMD lane).  Tail groups with fewer
-/// than 4 chunks fall back to scalar per-chunk recovery.  A
-/// non-positive chunk falls back to collapsed_for_simd_blocks.
+/// lane groups of simd::kGroupLanes, and each group's chunk-start
+/// recoveries run as one lane-batched solve (one pc per SIMD lane).
+/// Tail groups batch what they can (recover4 for 4..7 leftover chunks
+/// on the wide leg) and recover the rest scalar.  A non-positive chunk
+/// falls back to collapsed_for_simd_blocks.
 template <class BlockBody>
 void collapsed_for_simd_blocks_chunked(const CollapsedEval& cn, int vlen, i64 chunk,
                                        BlockBody&& body, int threads = 0) {

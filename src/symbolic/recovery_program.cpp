@@ -30,80 +30,95 @@ bool needs_complex(const ExprPtr& n) {
 
 bool RootValue::finite() const { return std::isfinite(re) && std::isfinite(im); }
 
-void ferrari_estimate4(const double* A, size_t stride, int branch, i64 est[4],
-                       bool est_ok[4]) {
-  using simd::vf64;
-  const vf64 zero = simd::set1(0.0);
-  const vf64 half = simd::set1(0.5);
+namespace {
+
+/// Width-generic body of ferrari_estimate4/ferrari_estimate8.
+template <int W>
+void ferrari_estimate_lanes(const double* A, size_t stride, int branch, i64* est,
+                            bool* est_ok) {
+  using V = simd::batch<W>;
+  const V zero = simd::splat<W>(0.0);
+  const V half = simd::splat<W>(0.5);
   auto col = [&](int e) {
-    return simd::set(A[static_cast<size_t>(e)], A[stride + static_cast<size_t>(e)],
-                     A[2 * stride + static_cast<size_t>(e)],
-                     A[3 * stride + static_cast<size_t>(e)]);
+    double tmp[W];
+    for (int l = 0; l < W; ++l)
+      tmp[l] = A[static_cast<size_t>(l) * stride + static_cast<size_t>(e)];
+    return simd::load<W>(tmp);
   };
-  const vf64 a4 = col(4);
-  const vf64 b = simd::div(col(3), a4);
-  const vf64 c = simd::div(col(2), a4);
-  const vf64 d = simd::div(col(1), a4);
-  const vf64 e = simd::div(col(0), a4);
+  const V a4 = col(4);
+  const V b = simd::div(col(3), a4);
+  const V c = simd::div(col(2), a4);
+  const V d = simd::div(col(1), a4);
+  const V e = simd::div(col(0), a4);
 
   // Depressed quartic y^4 + p y^2 + q y + r (x = y - b/4).
-  const vf64 b2 = simd::mul(b, b);
-  const vf64 p = simd::sub(c, simd::mul(simd::set1(3.0 / 8.0), b2));
-  const vf64 q = simd::add(simd::sub(d, simd::mul(half, simd::mul(b, c))),
-                           simd::mul(simd::set1(1.0 / 8.0), simd::mul(b2, b)));
-  const vf64 r = simd::sub(
-      simd::add(simd::sub(e, simd::mul(simd::set1(0.25), simd::mul(b, d))),
-                simd::mul(simd::set1(1.0 / 16.0), simd::mul(b2, c))),
-      simd::mul(simd::set1(3.0 / 256.0), simd::mul(b2, b2)));
+  const V b2 = simd::mul(b, b);
+  const V p = simd::sub(c, simd::mul(simd::splat<W>(3.0 / 8.0), b2));
+  const V q = simd::add(simd::sub(d, simd::mul(half, simd::mul(b, c))),
+                        simd::mul(simd::splat<W>(1.0 / 8.0), simd::mul(b2, b)));
+  const V r = simd::sub(
+      simd::add(simd::sub(e, simd::mul(simd::splat<W>(0.25), simd::mul(b, d))),
+                simd::mul(simd::splat<W>(1.0 / 16.0), simd::mul(b2, c))),
+      simd::mul(simd::splat<W>(3.0 / 256.0), simd::mul(b2, b2)));
 
   const int rb = branch / 4;  // resolvent Cardano branch, 0..2
   const int qb = branch % 4;  // quadratic-factor branch, 0..3
 
-  // Resolvent cubic w^3 + 2p w^2 + (p^2 - 4r) w - q^2 = 0 (monic): the
-  // Viete/Cardano case analysis is branchy trig, evaluated per lane.
-  const vf64 rB2 = simd::mul(simd::set1(2.0), p);
-  const vf64 rB1 = simd::sub(simd::mul(p, p), simd::mul(simd::set1(4.0), r));
-  const vf64 rB0 = simd::neg(simd::mul(q, q));
-  double wre[4], wim[4];
-  for (int l = 0; l < 4; ++l) {
-    const CardanoBranch<double> w = cardano_branch<double>(
-        simd::lane(rB2, l), simd::lane(rB1, l), simd::lane(rB0, l), rb);
-    wre[l] = w.re;
-    wim[l] = w.im;
-  }
-  const vf64 wr = simd::set(wre[0], wre[1], wre[2], wre[3]);
-  const vf64 wi = simd::set(wim[0], wim[1], wim[2], wim[3]);
+  // Resolvent cubic w^3 + 2p w^2 + (p^2 - 4r) w - q^2 = 0 (monic).
+  // Both discriminant signs stay in-register inside cardano_branch_lanes
+  // (polynomial trig on the Viete lanes, Halley vcbrt on the one-real-
+  // root lanes); only set_vector_trig(false) drops to per-lane libm.
+  const V rB2 = simd::mul(simd::splat<W>(2.0), p);
+  const V rB1 = simd::sub(simd::mul(p, p), simd::mul(simd::splat<W>(4.0), r));
+  const V rB0 = simd::neg(simd::mul(q, q));
+  const CardanoBranchLanes<V> w = cardano_branch_lanes(rB2, rB1, rB0, rb);
+  const V wr = w.re;
+  const V wi = w.im;
 
   // Quadratic-factor stage on the explicit (re, im) pair — see
   // ferrari_estimate for the derivation.  alpha = csqrt(w), principal:
   // the Im sign carries sign(Im w), applied with a mask blend.
-  const vf64 aw = simd::sqrt(simd::add(simd::mul(wr, wr), simd::mul(wi, wi)));
-  const vf64 ar = simd::sqrt(simd::mul(half, simd::add(aw, wr)));
-  const vf64 ai0 = simd::sqrt(simd::mul(half, simd::sub(aw, wr)));
-  const vf64 ai = simd::select(simd::cmp_ge(wi, zero), ai0, simd::neg(ai0));
+  const V aw = simd::sqrt(simd::add(simd::mul(wr, wr), simd::mul(wi, wi)));
+  const V ar = simd::sqrt(simd::mul(half, simd::add(aw, wr)));
+  const V ai0 = simd::sqrt(simd::mul(half, simd::sub(aw, wr)));
+  const V ai = simd::select(simd::cmp_ge(wi, zero), ai0, simd::neg(ai0));
   // q / alpha = q * conj(alpha) / |w|  (w == 0 lanes degenerate to NaN).
-  const vf64 qoaw = simd::div(q, aw);
-  const vf64 qar = simd::mul(qoaw, ar);
-  const vf64 qai = simd::neg(simd::mul(qoaw, ai));
+  const V qoaw = simd::div(q, aw);
+  const V qar = simd::mul(qoaw, ar);
+  const V qai = simd::neg(simd::mul(qoaw, ai));
   // D = alpha^2 - 4*{beta,gamma} = w - 2*(p + w +- q/alpha).
-  const vf64 sqar = qb < 2 ? simd::neg(qar) : qar;
-  const vf64 sqai = qb < 2 ? simd::neg(qai) : qai;
-  const vf64 Dr =
-      simd::sub(wr, simd::mul(simd::set1(2.0), simd::add(simd::add(p, wr), sqar)));
-  const vf64 Di = simd::neg(simd::add(wi, simd::mul(simd::set1(2.0), sqai)));
-  const vf64 ad = simd::sqrt(simd::add(simd::mul(Dr, Dr), simd::mul(Di, Di)));
-  const vf64 sr = simd::sqrt(simd::mul(half, simd::add(ad, Dr)));  // Re(csqrt(D))
-  const vf64 sa = qb < 2 ? simd::neg(ar) : ar;
-  const vf64 y =
-      simd::mul(half, (qb & 1) ? simd::sub(sa, sr) : simd::add(sa, sr));
+  const V sqar = qb < 2 ? simd::neg(qar) : qar;
+  const V sqai = qb < 2 ? simd::neg(qai) : qai;
+  const V Dr =
+      simd::sub(wr, simd::mul(simd::splat<W>(2.0), simd::add(simd::add(p, wr), sqar)));
+  const V Di = simd::neg(simd::add(wi, simd::mul(simd::splat<W>(2.0), sqai)));
+  const V ad = simd::sqrt(simd::add(simd::mul(Dr, Dr), simd::mul(Di, Di)));
+  const V sr = simd::sqrt(simd::mul(half, simd::add(ad, Dr)));  // Re(csqrt(D))
+  const V sa = qb < 2 ? simd::neg(ar) : ar;
+  const V y = simd::mul(half, (qb & 1) ? simd::sub(sa, sr) : simd::add(sa, sr));
 
-  const vf64 root = simd::sub(y, simd::mul(simd::set1(0.25), b));
-  const vf64 flo = simd::floor(simd::add(root, simd::set1(1e-9)));
-  for (int l = 0; l < 4; ++l) {
-    const double rl = simd::lane(root, l);
-    est_ok[l] = simd::lane(a4, l) != 0.0 && index_range_finite(rl);
-    est[l] = est_ok[l] ? static_cast<i64>(simd::lane(flo, l)) : 0;
+  const V root = simd::sub(y, simd::mul(simd::splat<W>(0.25), b));
+  const V flo = simd::floor(simd::add(root, simd::splat<W>(1e-9)));
+  double rootl[W], flol[W], a4l[W];
+  simd::store(rootl, root);
+  simd::store(flol, flo);
+  simd::store(a4l, a4);
+  for (int l = 0; l < W; ++l) {
+    est_ok[l] = a4l[l] != 0.0 && index_range_finite(rootl[l]);
+    est[l] = est_ok[l] ? static_cast<i64>(flol[l]) : 0;
   }
+}
+
+}  // namespace
+
+void ferrari_estimate4(const double* A, size_t stride, int branch, i64 est[4],
+                       bool est_ok[4]) {
+  ferrari_estimate_lanes<4>(A, stride, branch, est, est_ok);
+}
+
+void ferrari_estimate8(const double* A, size_t stride, int branch, i64 est[8],
+                       bool est_ok[8]) {
+  ferrari_estimate_lanes<8>(A, stride, branch, est, est_ok);
 }
 
 /// Lowering context: walks the Expr DAG once, folding constants (with the
@@ -432,41 +447,44 @@ RootValue RecoveryProgram::eval(std::span<const i64> point) const {
   return {re[n - 1], im[n - 1]};
 }
 
-void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) const {
-  if (!compiled_) throw SolveError("RecoveryProgram::eval4 on an uncompiled program");
+template <int W>
+void RecoveryProgram::eval_lanes(const i64* pts, size_t stride, RootValue* out) const {
+  if (!compiled_) throw SolveError("RecoveryProgram::eval_lanes on an uncompiled program");
 
-  using simd::vf64;
-  vf64 re[kMaxProgramRegs];
-  vf64 im[kMaxProgramRegs];
-  const vf64 zero = simd::set1(0.0);
+  using V = simd::batch<W>;
+  V re[kMaxProgramRegs];
+  V im[kMaxProgramRegs];
+  const V zero = simd::splat<W>(0.0);
 
-  // Gather the four lanes of one slot into a vector.
+  // Gather the W lanes of one slot into a vector.
   auto slot_lanes = [&](int slot) {
-    return simd::set(static_cast<double>(pts[static_cast<size_t>(slot)]),
-                     static_cast<double>(pts[stride + static_cast<size_t>(slot)]),
-                     static_cast<double>(pts[2 * stride + static_cast<size_t>(slot)]),
-                     static_cast<double>(pts[3 * stride + static_cast<size_t>(slot)]));
+    double tmp[W];
+    for (int l = 0; l < W; ++l)
+      tmp[l] = static_cast<double>(
+          pts[static_cast<size_t>(l) * stride + static_cast<size_t>(slot)]);
+    return simd::load<W>(tmp);
   };
   // Per-lane scalar escape for the ops without a vector form.
-  auto map_lanes = [&](vf64 a, auto&& f) {
-    double r[4];
-    for (int l = 0; l < 4; ++l) r[l] = f(simd::lane(a, l));
-    return simd::set(r[0], r[1], r[2], r[3]);
+  auto map_lanes = [&](V a, auto&& f) {
+    double r[W];
+    simd::store(r, a);
+    for (int l = 0; l < W; ++l) r[l] = f(r[l]);
+    return simd::load<W>(r);
   };
   // Per-lane complex escapes in double (not the scalar eval()'s long
   // double; the caller's guard absorbs the precision gap).
   using cd = std::complex<double>;
-  auto map_lanes_c = [&](vf64 ar, vf64 ai, vf64* rr, vf64* ri, auto&& f) {
-    double lr[4], li[4], vr[4], vi[4];
+  auto map_lanes_c = [&](V ar, V ai, V* rr, V* ri, auto&& f) {
+    double lr[W], li[W];
     simd::store(lr, ar);
     simd::store(li, ai);
-    for (int l = 0; l < 4; ++l) {
+    for (int l = 0; l < W; ++l) {
       const cd z = f(cd{lr[l], li[l]});
-      vr[l] = z.real();
-      vi[l] = z.imag();
+      lr[l] = z.real();
+      li[l] = z.imag();
     }
-    *rr = simd::set(vr[0], vr[1], vr[2], vr[3]);
-    *ri = simd::set(vi[0], vi[1], vi[2], vi[3]);
+    *rr = simd::load<W>(lr);
+    *ri = simd::load<W>(li);
   };
 
   const size_t n = code_.size();
@@ -474,17 +492,17 @@ void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) con
     const Ins& ins = code_[i];
     switch (ins.op) {
       case Op::RConst:
-        re[i] = simd::set1(static_cast<double>(ins.re));
+        re[i] = simd::splat<W>(static_cast<double>(ins.re));
         im[i] = zero;
         break;
       case Op::RPoly: {
-        vf64 acc = zero;
+        V acc = zero;
         for (int t = ins.term_lo; t < ins.term_hi; ++t) {
           const PolyTerm& term = terms_[static_cast<size_t>(t)];
-          vf64 v = simd::set1(static_cast<double>(term.coef));
+          V v = simd::splat<W>(static_cast<double>(term.coef));
           for (int p = term.pow_lo; p < term.pow_hi; ++p) {
             const PolyPow& pw = pows_[static_cast<size_t>(p)];
-            const vf64 base = slot_lanes(pw.slot);
+            const V base = slot_lanes(pw.slot);
             for (int e = 0; e < pw.exp; ++e) v = simd::mul(v, base);
           }
           acc = simd::add(acc, v);
@@ -522,8 +540,8 @@ void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) con
         im[i] = zero;
         break;
       case Op::CConst:
-        re[i] = simd::set1(static_cast<double>(ins.re));
-        im[i] = simd::set1(static_cast<double>(ins.im));
+        re[i] = simd::splat<W>(static_cast<double>(ins.re));
+        im[i] = simd::splat<W>(static_cast<double>(ins.im));
         break;
       case Op::CAdd:
         re[i] = simd::add(re[ins.a], re[ins.b]);
@@ -534,8 +552,8 @@ void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) con
         im[i] = simd::sub(im[ins.a], im[ins.b]);
         break;
       case Op::CMul: {
-        const vf64 ar = re[ins.a], ai = im[ins.a];
-        const vf64 br = re[ins.b], bi = im[ins.b];
+        const V ar = re[ins.a], ai = im[ins.a];
+        const V br = re[ins.b], bi = im[ins.b];
         re[i] = simd::sub(simd::mul(ar, br), simd::mul(ai, bi));
         im[i] = simd::add(simd::mul(ar, bi), simd::mul(ai, br));
         break;
@@ -543,9 +561,9 @@ void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) con
       case Op::CDiv: {
         // (a * conj b) / |b|^2 componentwise; moderate magnitudes only
         // reach this path, and the exact guard absorbs rounding.
-        const vf64 ar = re[ins.a], ai = im[ins.a];
-        const vf64 br = re[ins.b], bi = im[ins.b];
-        const vf64 den = simd::add(simd::mul(br, br), simd::mul(bi, bi));
+        const V ar = re[ins.a], ai = im[ins.a];
+        const V br = re[ins.b], bi = im[ins.b];
+        const V den = simd::add(simd::mul(br, br), simd::mul(bi, bi));
         re[i] = simd::div(simd::add(simd::mul(ar, br), simd::mul(ai, bi)), den);
         im[i] = simd::div(simd::sub(simd::mul(ai, br), simd::mul(ar, bi)), den);
         break;
@@ -570,9 +588,19 @@ void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) con
         break;
     }
   }
-  for (int l = 0; l < 4; ++l)
-    out[l] = {static_cast<long double>(simd::lane(re[n - 1], l)),
-              static_cast<long double>(simd::lane(im[n - 1], l))};
+  double rr[W], ri[W];
+  simd::store(rr, re[n - 1]);
+  simd::store(ri, im[n - 1]);
+  for (int l = 0; l < W; ++l)
+    out[l] = {static_cast<long double>(rr[l]), static_cast<long double>(ri[l])};
+}
+
+void RecoveryProgram::eval4(const i64* pts, size_t stride, RootValue out[4]) const {
+  eval_lanes<4>(pts, stride, out);
+}
+
+void RecoveryProgram::eval8(const i64* pts, size_t stride, RootValue out[8]) const {
+  eval_lanes<8>(pts, stride, out);
 }
 
 bool RecoveryProgram::uses_complex() const {

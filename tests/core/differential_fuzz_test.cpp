@@ -8,8 +8,8 @@
 //                        included) with the proven-f64 guard policy,
 //   recover   [i128]   — the same engine with set_f64_guards(false),
 //                        byte-identical by the exactness proof,
-//   recover4           — lane-batched solves,
-//   recover_block(s4)  — row-walking and lane-strided batched recovery,
+//   recover4/recover8  — lane-batched solves at both lane widths,
+//   recover_block(s4/s8)— row-walking and lane-strided batched recovery,
 //   recover_interpreted— the seed-era complex interpreter,
 //
 // plus rank() round trips.  Domains expected empty must be rejected by
@@ -108,6 +108,22 @@ void check_domain(const CollapsedEval& cn, const std::string& repro, FuzzTally* 
     }
   }
 
+  // recover8: sliding (clamped) windows of 8 pcs — the wide-lane twin,
+  // exercised on every abi leg (emulated lanes off AVX-512).
+  std::vector<i64> out8(8 * d);
+  for (i64 lo = 1; lo <= total; lo += 8 * step) {
+    const i64 base = std::min<i64>(lo, std::max<i64>(1, total - 7));
+    i64 pcs[8];
+    for (int l = 0; l < 8; ++l) pcs[l] = std::min<i64>(base + l, total);
+    cn.recover8(pcs, out8, &tally->stats);
+    for (int l = 0; l < 8; ++l) {
+      cn.recover_search(pcs[l], ref);
+      for (size_t q = 0; q < d; ++q)
+        ASSERT_EQ(out8[static_cast<size_t>(l) * d + q], ref[q])
+            << repro << "recover8 lane " << l << " disagrees at pc=" << pcs[l];
+    }
+  }
+
   // recover_block (row-major) and recover_blocks4 (lane-strided tiles).
   constexpr i64 kB = 5;
   std::vector<i64> blk(kB * d);
@@ -134,6 +150,26 @@ void check_domain(const CollapsedEval& cn, const std::string& repro, FuzzTally* 
           ASSERT_EQ(tiles[(static_cast<size_t>(b) * d + q) * kB + static_cast<size_t>(r)],
                     ref[q])
               << repro << "recover_blocks4 disagrees at pc=" << pcs[b] + r;
+      }
+    }
+  }
+
+  // recover_blocks8: eight lane-strided tiles per call.
+  std::vector<i64> tiles8(8 * kB * d);
+  i64 rows8[8];
+  for (i64 lo = 1; lo <= total; lo += 8 * kB * step) {
+    i64 pcs[8];
+    for (int b = 0; b < 8; ++b) pcs[b] = std::min<i64>(lo + static_cast<i64>(b) * kB, total);
+    cn.recover_blocks8(pcs, kB, tiles8, kB, rows8, &tally->stats);
+    for (int b = 0; b < 8; ++b) {
+      ASSERT_EQ(rows8[b], std::min<i64>(kB, total - pcs[b] + 1))
+          << repro << "recover_blocks8 rows, block " << b;
+      for (i64 r = 0; r < rows8[b]; ++r) {
+        cn.recover_search(pcs[b] + r, ref);
+        for (size_t q = 0; q < d; ++q)
+          ASSERT_EQ(tiles8[(static_cast<size_t>(b) * d + q) * kB + static_cast<size_t>(r)],
+                    ref[q])
+              << repro << "recover_blocks8 disagrees at pc=" << pcs[b] + r;
       }
     }
   }

@@ -145,6 +145,35 @@ TEST(NoAllocation, LaneBatchedRecoveryHotPath) {
   }
 }
 
+TEST(NoAllocation, EightLaneRecoveryHotPath) {
+  // recover8 / recover_blocks8: the wide-lane twins (native 512-bit
+  // vectors on the AVX-512 leg, emulated elsewhere) over the same
+  // stack scratch — no allocation on any leg.
+  for (auto& c : engine_cases()) {
+    const size_t d = static_cast<size_t>(c.cn.depth());
+    constexpr i64 kBlock = 32;
+    std::vector<i64> tuples(8 * d);
+    std::vector<i64> tiles(8 * d * kBlock);
+    i64 rows[8];
+    const i64 total = c.cn.trip_count();
+    const i64 q = std::max<i64>(1, total / 8);
+    i64 pcs[8];
+    for (int b = 0; b < 8; ++b) pcs[b] = std::min<i64>(static_cast<i64>(b) * q + 1, total);
+    c.cn.recover8(pcs, tuples);
+    c.cn.recover_blocks8(pcs, kBlock, tiles, kBlock, rows);
+
+    const long long before = g_allocations.load();
+    for (i64 lo = 1; lo + 7 <= std::min<i64>(total, 2000); lo += 8) {
+      i64 w[8];
+      for (int b = 0; b < 8; ++b) w[b] = lo + b;
+      c.cn.recover8(w, tuples);
+    }
+    c.cn.recover_blocks8(pcs, kBlock, tiles, kBlock, rows);
+    const long long after = g_allocations.load();
+    EXPECT_EQ(after, before) << c.name << ": 8-lane recovery allocated";
+  }
+}
+
 TEST(NoAllocation, SearchRecoveryHotPath) {
   for (auto& c : engine_cases()) {
     i64 idx[kMaxDepth];

@@ -363,14 +363,18 @@ TEST(RecoveryEngine, DescribeNamesLoweredSolvers) {
 }
 
 TEST(RecoveryEngine, DescribeNamesLaneBatchedSolvers) {
-  // Quadratic and bytecode-program levels evaluate 4 pcs per SIMD lane
-  // in the batched entry points; describe() says so, and names the
-  // compiled simd abi ("avx2" or "scalar" — both have 4 lanes).
+  // Quadratic and bytecode-program levels evaluate one lane group of
+  // pcs per batched call; describe() reports the group width of the
+  // compiled simd abi (8 on the AVX-512 leg, 4 on avx2/scalar) and the
+  // ABI leg actually usable at runtime.
+  const std::string x = "x" + std::to_string(simd::kGroupLanes) + "]";
   const std::string d = collapse(testutil::triangular_strict()).describe();
-  EXPECT_NE(d.find("guarded-quadratic [lane-batched x4]"), std::string::npos) << d;
-  EXPECT_NE(d.find("runtime simd abi: "), std::string::npos) << d;
+  EXPECT_NE(d.find("guarded-quadratic [lane-batched " + x), std::string::npos) << d;
+  EXPECT_NE(d.find("runtime simd abi: " + std::string(simd::runtime_abi())),
+            std::string::npos)
+      << d;
   const std::string q = collapse(testutil::simplex_4d()).describe();
-  EXPECT_NE(q.find("guarded-ferrari [lane-batched x4]"), std::string::npos) << q;
+  EXPECT_NE(q.find("guarded-ferrari [lane-batched " + x), std::string::npos) << q;
 }
 
 TEST(RecoveryEngine, AstronomicalParameterOffsetsStillBind) {

@@ -9,6 +9,7 @@
 #include "codegen/c_emitter.hpp"
 #include "pipeline/dispatch.hpp"
 #include "pipeline/schedule.hpp"
+#include "runtime/simd_abi.hpp"
 
 namespace nrc {
 namespace {
@@ -48,8 +49,12 @@ TEST(Schedule, DescribeNamesSchemeAndParameters) {
   EXPECT_EQ(Schedule::per_iteration(OmpSchedule::Dynamic).describe(),
             "per_iteration(omp=dynamic)");
   EXPECT_EQ(Schedule::chunked(512).describe(), "chunked(chunk=512)");
+  // The simd schemes report the runtime leg so a log line pins down
+  // which ABI actually ran (compile-time macros alone can't).
+  const std::string abi = simd::runtime_abi();
+  EXPECT_EQ(Schedule::simd_blocks(16).describe(), "simd_blocks(vlen=16, abi=" + abi + ")");
   EXPECT_EQ(Schedule::simd_blocks_chunked(8, 64, {2}).describe(),
-            "simd_blocks_chunked(vlen=8, chunk=64, threads=2)");
+            "simd_blocks_chunked(vlen=8, chunk=64, abi=" + abi + ", threads=2)");
   EXPECT_EQ(Schedule::warp_sim(32).describe(), "warp_sim(warp_size=32)");
   EXPECT_EQ(Schedule::serial_sim(12).describe(), "serial_sim(n_chunks=12)");
 }

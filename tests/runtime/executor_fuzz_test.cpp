@@ -129,15 +129,20 @@ std::vector<SchemeCase> scheme_matrix(i64 total, int nt, bool full) {
                    collapsed_for_row_segments_chunked(c, chunk, segment_adapter(c, v), nt);
                  }});
   }
-  for (const int vlen : {1, 3, 8}) {
+  // vlen 4 and 8 are the two lane-group widths (vlen = kGroupLanes and
+  // 2x/1x of it depending on the abi leg); 1 and 3 force the degenerate
+  // and non-divisor block shapes.
+  for (const int vlen : {1, 3, 4, 8}) {
     m.push_back({6, "simd_blocks v=" + std::to_string(vlen),
                  Schedule::simd_blocks(vlen, {nt}),
                  [vlen, nt](const CollapsedEval& c, const Visit& v) {
                    collapsed_for_simd_blocks(c, vlen, block_adapter(c, v), nt);
                  }});
   }
+  // {8, 3}: chunk smaller than the wide lane group, so every group's
+  // trailing chunks route through the 4-lane/scalar tail batching.
   for (const auto& [vlen, chunk] :
-       {std::pair<int, i64>{3, 2}, {4, total + 1}, {8, kHugeChunk}}) {
+       {std::pair<int, i64>{3, 2}, {4, total + 1}, {8, 3}, {8, kHugeChunk}}) {
     m.push_back({7,
                  "simd_blocks_chunked v=" + std::to_string(vlen) +
                      " c=" + std::to_string(chunk),

@@ -1,0 +1,302 @@
+// simd_abi shim: the 8-lane vf64x8 leg against a per-lane scalar
+// reference (every target emulates the width it lacks, so these tests
+// pin the lane semantics on AVX-512, AVX2 and scalar builds alike), the
+// polynomial vcos/vatan2 kernels against libm over the Cardano
+// branch-value ranges, and the lane-batched Cardano against the scalar
+// branch formula — with set_vector_trig(false) as the exact per-lane
+// libm reference path.
+#include "runtime/simd_abi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/real_solvers.hpp"
+
+namespace nrc {
+namespace {
+
+/// Deterministic doubles in [lo, hi] (fixed-seed LCG; no test-order or
+/// platform dependence).
+class Lcg {
+ public:
+  double next(double lo, double hi) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = static_cast<double>(state_ >> 11) * 0x1p-53;
+    return lo + u * (hi - lo);
+  }
+
+ private:
+  u64 state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+TEST(SimdAbiWide, EightLaneOpsMatchScalarReference) {
+  Lcg rng;
+  for (int trial = 0; trial < 200; ++trial) {
+    double a[8], b[8];
+    for (int l = 0; l < 8; ++l) {
+      a[l] = rng.next(-1e6, 1e6);
+      b[l] = rng.next(-1e6, 1e6);
+      if (b[l] == 0.0) b[l] = 1.0;
+    }
+    const simd::vf64x8 va = simd::load<8>(a);
+    const simd::vf64x8 vb = simd::load<8>(b);
+    double got[8];
+
+    simd::store(got, simd::add(va, vb));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], a[l] + b[l]);
+    simd::store(got, simd::sub(va, vb));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], a[l] - b[l]);
+    simd::store(got, simd::mul(va, vb));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], a[l] * b[l]);
+    simd::store(got, simd::div(va, vb));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], a[l] / b[l]);
+    simd::store(got, simd::neg(va));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], -a[l]);
+    simd::store(got, simd::floor(va));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], std::floor(a[l]));
+    simd::store(got, simd::sqrt(simd::vabs(va)));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], std::sqrt(std::fabs(a[l])));
+
+    // cmp_ge/select/any: the mask type differs per leg (__mmask8 /
+    // blend lanes), so probe it only through its two consumers.
+    const simd::vmask8 m = simd::cmp_ge(va, vb);
+    simd::store(got, simd::select(m, va, vb));
+    bool expect_any = false;
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_EQ(got[l], a[l] >= b[l] ? a[l] : b[l]);
+      expect_any = expect_any || a[l] >= b[l];
+    }
+    EXPECT_EQ(simd::any(m), expect_any);
+
+    simd::store(got, simd::vmin(va, vb));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], std::min(a[l], b[l]));
+    simd::store(got, simd::vmax(va, vb));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], std::max(a[l], b[l]));
+    for (int l = 0; l < 8; ++l) EXPECT_EQ(simd::lane(va, l), a[l]);
+  }
+  double got[8];
+  simd::store(got, simd::splat<8>(3.25));
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(got[l], 3.25);
+  EXPECT_FALSE(simd::any(simd::cmp_ge(simd::splat<8>(0.0), simd::splat<8>(1.0))));
+}
+
+TEST(SimdAbiWide, WidthGenericTraitsAgreeAcrossWidths) {
+  EXPECT_EQ(simd::vtraits<simd::vf64>::lanes, 4);
+  EXPECT_EQ(simd::vtraits<simd::vf64x8>::lanes, 8);
+  EXPECT_EQ(simd::lane(simd::vtraits<simd::vf64x8>::splat(-7.5), 7), -7.5);
+  EXPECT_TRUE(simd::kGroupLanes == 4 || simd::kGroupLanes == 8);
+  // runtime_abi can only narrow the compiled leg, never widen it.
+  const std::string compiled = simd::abi_name();
+  const std::string runtime = simd::runtime_abi();
+  auto width = [](const std::string& abi) {
+    return abi == "avx512" ? 2 : abi == "avx2" ? 1 : 0;
+  };
+  EXPECT_LE(width(runtime), width(compiled)) << runtime << " vs " << compiled;
+}
+
+// ------------------------------------------------ polynomial trig kernels
+
+// The lane solvers feed vcos the Viete phase phi/3 + 2*pi*branch/3 with
+// phi = atan2(...) in [0, pi] — i.e. arguments in [0, 2*pi] — but the
+// kernel's reduction covers any |x| within a few thousand radians, so
+// sweep wider than the consumers need.
+TEST(SimdAbiTrig, VcosMatchesLibmOverBranchRanges) {
+  Lcg rng;
+  for (int width : {4, 8}) {
+    for (int trial = 0; trial < 4000; ++trial) {
+      double x[8];
+      const double span = trial % 2 ? 7.0 : 3000.0;
+      for (int l = 0; l < 8; ++l) x[l] = rng.next(-span, span);
+      double got[8];
+      if (width == 4)
+        simd::store(got, simd::vcos(simd::load<4>(x)));
+      else
+        simd::store(got, simd::vcos(simd::load<8>(x)));
+      for (int l = 0; l < width; ++l)
+        EXPECT_NEAR(got[l], std::cos(x[l]), 2e-9) << "x=" << x[l];
+    }
+  }
+}
+
+TEST(SimdAbiTrig, VatanTwoMatchesLibmOverBranchRanges) {
+  Lcg rng;
+  for (int width : {4, 8}) {
+    for (int trial = 0; trial < 4000; ++trial) {
+      double y[8], x[8];
+      for (int l = 0; l < 8; ++l) {
+        // The Cardano consumer's y is sqrt(-delta) >= 0 and x = -q/2 is
+        // any sign; sweep all four quadrants anyway, across magnitudes.
+        const double my = std::pow(10.0, rng.next(-12.0, 12.0));
+        const double mx = std::pow(10.0, rng.next(-12.0, 12.0));
+        y[l] = rng.next(-1.0, 1.0) * my;
+        x[l] = rng.next(-1.0, 1.0) * mx;
+      }
+      double got[8];
+      if (width == 4)
+        simd::store(got, simd::vatan2(simd::load<4>(y), simd::load<4>(x)));
+      else
+        simd::store(got, simd::vatan2(simd::load<8>(y), simd::load<8>(x)));
+      for (int l = 0; l < width; ++l)
+        EXPECT_NEAR(got[l], std::atan2(y[l], x[l]), 2e-9)
+            << "y=" << y[l] << " x=" << x[l];
+    }
+  }
+}
+
+TEST(SimdAbiTrig, VcbrtMatchesLibmAcrossMagnitudes) {
+  // The one-real-root Cardano lanes feed vcbrt |v| with v spanning the
+  // cube of the index range; sweep log-uniform magnitudes well past it.
+  // The Halley iteration converges to ~1e-13 relative — assert a 1e-12
+  // relative band, an order tighter than the guard licence needs.
+  Lcg rng;
+  for (int width : {4, 8}) {
+    for (int trial = 0; trial < 4000; ++trial) {
+      double x[8];
+      for (int l = 0; l < 8; ++l) x[l] = std::pow(10.0, rng.next(-30.0, 30.0));
+      double got[8];
+      if (width == 4)
+        simd::store(got, simd::vcbrt_nonneg(simd::load<4>(x)));
+      else
+        simd::store(got, simd::vcbrt_nonneg(simd::load<8>(x)));
+      for (int l = 0; l < width; ++l)
+        EXPECT_NEAR(got[l], std::cbrt(x[l]), 1e-12 * std::cbrt(x[l])) << "x=" << x[l];
+    }
+  }
+  // x == 0 returns exactly 0 so the caller's p/(3m) degeneration check
+  // behaves like scalar cbrt's.
+  double z[8];
+  simd::store(z, simd::vcbrt_nonneg(simd::splat<8>(0.0)));
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(z[l], 0.0);
+}
+
+TEST(SimdAbiTrig, VatanTwoHandlesAxesAndZeroPairs) {
+  // Axis lanes the consumer can actually produce: y = 0 (delta == 0
+  // lanes, whose Viete-side value the final blend deselects) and the
+  // both-zero lane, which must stay finite (0), not NaN.
+  const double y[8] = {0.0, 0.0, 1.0, -1.0, 0.0, 5.0, -5.0, 0.0};
+  const double x[8] = {1.0, 5.0, 0.0, 0.0, 0.0, 5.0, -5.0, 2.5};
+  double got[8];
+  simd::store(got, simd::vatan2(simd::load<8>(y), simd::load<8>(x)));
+  for (int l = 0; l < 8; ++l) {
+    if (y[l] == 0.0 && x[l] == 0.0) {
+      EXPECT_EQ(got[l], 0.0);
+    } else {
+      EXPECT_NEAR(got[l], std::atan2(y[l], x[l]), 2e-9) << l;
+    }
+  }
+}
+
+// -------------------------------------------------- lane-batched Cardano
+
+/// Monic cubics whose delta sign is known by construction: three real
+/// roots (delta < 0) from expanded (x-r0)(x-r1)(x-r2) with distinct
+/// roots, one real root (delta > 0) from (x-r)(x^2+1)-style pairs.
+struct Cubic {
+  double b, c, d;
+};
+
+std::vector<Cubic> cubics_with_three_real_roots() {
+  std::vector<Cubic> v;
+  Lcg rng;
+  for (int i = 0; i < 64; ++i) {
+    const double r0 = rng.next(-40.0, 40.0);
+    const double r1 = r0 + rng.next(0.5, 30.0);
+    const double r2 = r1 + rng.next(0.5, 30.0);
+    v.push_back({-(r0 + r1 + r2), r0 * r1 + r0 * r2 + r1 * r2, -r0 * r1 * r2});
+  }
+  return v;
+}
+
+std::vector<Cubic> cubics_with_one_real_root() {
+  std::vector<Cubic> v;
+  Lcg rng;
+  for (int i = 0; i < 64; ++i) {
+    const double r = rng.next(-40.0, 40.0);
+    const double s = rng.next(0.5, 10.0);  // complex pair at +-i*s around m
+    const double m = rng.next(-5.0, 5.0);
+    // (x - r) * (x^2 - 2 m x + m^2 + s^2)
+    v.push_back({-r - 2 * m, m * m + s * s + 2 * m * r, -r * (m * m + s * s)});
+  }
+  return v;
+}
+
+TEST(CardanoLanes, VectorPathTracksScalarBranchFormula) {
+  ASSERT_TRUE(simd::vector_trig_enabled());  // default state
+  for (int branch = 0; branch < 3; ++branch) {
+    for (const Cubic& q : cubics_with_three_real_roots()) {
+      const auto lanes = cardano_branch_lanes(
+          simd::splat<8>(q.b), simd::splat<8>(q.c), simd::splat<8>(q.d), branch);
+      const CardanoBranch<double> ref = cardano_branch<double>(q.b, q.c, q.d, branch);
+      for (int l = 0; l < 8; ++l) {
+        // Root magnitudes are <= ~100 here, so ~1e-9 relative trig
+        // error stays well under the guard's step budget.
+        EXPECT_NEAR(simd::lane(lanes.re, l), ref.re, 1e-6) << "branch=" << branch;
+        EXPECT_EQ(simd::lane(lanes.im, l), 0.0);
+      }
+    }
+    // delta >= 0 lanes run the Halley vcbrt kernel in-register; its
+    // ~1e-13 relative error sits far inside the same guard licence.
+    for (const Cubic& q : cubics_with_one_real_root()) {
+      const auto lanes = cardano_branch_lanes(
+          simd::splat<4>(q.b), simd::splat<4>(q.c), simd::splat<4>(q.d), branch);
+      const CardanoBranch<double> ref = cardano_branch<double>(q.b, q.c, q.d, branch);
+      for (int l = 0; l < 4; ++l) {
+        EXPECT_NEAR(simd::lane(lanes.re, l), ref.re, 1e-9) << "branch=" << branch;
+        EXPECT_NEAR(simd::lane(lanes.im, l), ref.im, 1e-9) << "branch=" << branch;
+      }
+    }
+  }
+}
+
+TEST(CardanoLanes, LibmReferencePathIsBitIdenticalPerLane) {
+  // set_vector_trig(false) routes every lane through the scalar
+  // cardano_branch — the equivalence-test reference path.
+  simd::set_vector_trig(false);
+  for (int branch = 0; branch < 3; ++branch) {
+    for (const auto& pool :
+         {cubics_with_three_real_roots(), cubics_with_one_real_root()}) {
+      for (const Cubic& q : pool) {
+        const auto lanes = cardano_branch_lanes(
+            simd::splat<8>(q.b), simd::splat<8>(q.c), simd::splat<8>(q.d), branch);
+        const CardanoBranch<double> ref =
+            cardano_branch<double>(q.b, q.c, q.d, branch);
+        for (int l = 0; l < 8; ++l) {
+          EXPECT_EQ(simd::lane(lanes.re, l), ref.re);
+          EXPECT_EQ(simd::lane(lanes.im, l), ref.im);
+        }
+      }
+    }
+  }
+  simd::set_vector_trig(true);
+  EXPECT_TRUE(simd::vector_trig_enabled());
+}
+
+// Mixed-sign delta within one batch: Viete lanes and one-real-root
+// lanes must land in their own slots (the blend is per lane, not per
+// batch — each side's garbage on the other side's lanes is deselected).
+TEST(CardanoLanes, MixedDeltaSignsBlendPerLane) {
+  const auto three = cubics_with_three_real_roots();
+  const auto one = cubics_with_one_real_root();
+  double b[8], c[8], d[8];
+  for (int l = 0; l < 8; ++l) {
+    const Cubic& q = (l % 2 ? three : one)[static_cast<size_t>(l)];
+    b[l] = q.b;
+    c[l] = q.c;
+    d[l] = q.d;
+  }
+  for (int branch = 0; branch < 3; ++branch) {
+    const auto lanes = cardano_branch_lanes(simd::load<8>(b), simd::load<8>(c),
+                                            simd::load<8>(d), branch);
+    for (int l = 0; l < 8; ++l) {
+      const CardanoBranch<double> ref = cardano_branch<double>(b[l], c[l], d[l], branch);
+      EXPECT_NEAR(simd::lane(lanes.re, l), ref.re, 1e-6) << l;
+      EXPECT_NEAR(simd::lane(lanes.im, l), ref.im, 1e-6) << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nrc

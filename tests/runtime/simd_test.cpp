@@ -71,10 +71,11 @@ TEST(SimdBlocks, RejectsBadVlen) {
 }
 
 TEST(SimdAbi, FillHelpersCoverTails) {
-  // Lengths around the 4-lane width exercise the vector body and the
-  // scalar tail of both fills.
-  for (i64 n : {i64{0}, i64{1}, i64{3}, i64{4}, i64{5}, i64{7}, i64{8}, i64{13}}) {
-    std::vector<i64> dst(static_cast<size_t>(n) + 4, -777);
+  // Lengths around both lane widths (4 and 8) exercise the vector body
+  // and every masked-tail remainder (1..7 mod 8) of both fills.
+  for (i64 n : {i64{0}, i64{1}, i64{2}, i64{3}, i64{4}, i64{5}, i64{6}, i64{7},
+                i64{8}, i64{9}, i64{11}, i64{13}, i64{15}, i64{16}, i64{17}}) {
+    std::vector<i64> dst(static_cast<size_t>(n) + 8, -777);
     simd::fill_broadcast(dst.data(), n, 42);
     for (i64 i = 0; i < n; ++i) EXPECT_EQ(dst[static_cast<size_t>(i)], 42) << n;
     EXPECT_EQ(dst[static_cast<size_t>(n)], -777) << n;  // no overrun
@@ -85,7 +86,12 @@ TEST(SimdAbi, FillHelpersCoverTails) {
     EXPECT_EQ(dst[static_cast<size_t>(n)], -777) << n;
   }
   const std::string abi = simd::abi_name();
-  EXPECT_TRUE(abi == "avx2" || abi == "scalar") << abi;
+  EXPECT_TRUE(abi == "avx512" || abi == "avx2" || abi == "scalar") << abi;
+  const std::string run_abi = simd::runtime_abi();
+  EXPECT_TRUE(run_abi == "avx512" || run_abi == "avx2" || run_abi == "scalar")
+      << run_abi;
+  // The preferred lane-group width follows the compiled leg.
+  EXPECT_EQ(simd::kGroupLanes, abi == "avx512" ? 8 : 4);
 }
 
 TEST(SimdBlocksChunked, CoversDomainForVariousChunks) {
