@@ -1,0 +1,277 @@
+// serving_hammer — multi-client load test of the plan-serving layer,
+// with an enforced SLO.
+//
+// Two phases:
+//
+//   1. Throughput: T threads hammer the full protocol path
+//      (serve::handle_request -> PlanCache::get_with_outcome ->
+//      describe) over a small hot set of domains.  Reports requests/s,
+//      request p50/p99 and the cache hit rate.
+//
+//   2. Head-of-line SLO: a single-shard cache serves a pre-cached hot
+//      domain while builder threads continuously force COLD quartic
+//      plans (shifted 4-deep simplex nests, each a distinct structure,
+//      ~tens of ms of collapse+bind apiece) through the SAME shard.
+//      Before the future-based miss path, every hit queued behind the
+//      in-flight build (~21 ms head-of-line for a ~1 µs hit); now the
+//      shard lock is held for map surgery only.  The enforced floor:
+//
+//        p99(contended hits)  <=  max(10 x p99(uncontended hits),
+//                                     NRC_SLO_FLOOR_NS [default 500 µs])
+//
+//      The absolute allowance keeps scheduler jitter on small CI
+//      runners from failing the ratio when the uncontended p99 is
+//      sub-microsecond; the old build-under-the-lock behavior sits 1-2
+//      orders of magnitude above it either way.
+//
+// Emits BENCH_serving.json (bench/trajectory.py renders the serving
+// table from it) and exits non-zero when the SLO fails — the CI
+// perf-trajectory leg runs this binary, so the floor is enforced on
+// the avx2 runner.
+//
+// Flags/env: bench_util.hpp (--threads, --trials, --out) plus
+// NRC_SLO_FLOOR_NS.
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nrcollapse.hpp"
+
+using namespace nrc;
+
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+i64 percentile(std::vector<i64>& ns, double p) {
+  if (ns.empty()) return 0;
+  const size_t k = std::min(ns.size() - 1, static_cast<size_t>(p * static_cast<double>(ns.size())));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(k), ns.end());
+  return ns[k];
+}
+
+/// The paper's Fig. 1 triangular shape: a ~1 µs quadratic bind, the
+/// serving hot key.
+NestSpec triangular(i64 /*unused*/ = 0) {
+  NestSpec nest;
+  nest.param("N")
+      .loop("i", aff::c(0), aff::v("N") - 1)
+      .loop("j", aff::v("i") + 1, aff::v("N"));
+  return nest;
+}
+
+/// A 4-deep simplex whose outermost level equation is quartic — the
+/// most expensive bind in the kernel set.  `shift` perturbs the
+/// innermost upper bound so every value is a DISTINCT nest structure:
+/// a guaranteed cold collapse+bind (no symbolic reuse, no bind memo).
+NestSpec shifted_simplex4(i64 shift) {
+  NestSpec nest;
+  nest.param("N")
+      .loop("i", aff::c(0), aff::v("N"))
+      .loop("j", aff::v("i"), aff::v("N"))
+      .loop("k", aff::v("j"), aff::v("N"))
+      .loop("l", aff::v("k"), aff::v("N") + shift);
+  return nest;
+}
+
+const char* kHotCFor = R"(
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++) {
+    /* body */;
+  }
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  i64 slo_floor_ns = 500000;
+  if (const char* e = std::getenv("NRC_SLO_FLOOR_NS")) slo_floor_ns = std::atoll(e);
+
+  std::printf("serving_hammer: plan-serving layer under multi-client load\n");
+  bench::rule();
+
+  // ------------------------------------------------- phase 1: throughput
+  // T protocol clients over a hot set of 8 parameterizations of the
+  // triangular nest (primed first, so steady-state traffic is all hits).
+  const int clients = std::max(1, std::min(args.threads, 8));
+  const int kHotParams = 8;
+  const int kReqPerClient = 2000;
+  PlanCache front(64, 16);
+  for (int p = 0; p < kHotParams; ++p)
+    front.get(triangular(), {{"N", 1000 + 100 * p}});
+
+  std::vector<std::vector<i64>> lat(static_cast<size_t>(clients));
+  const i64 t_phase1 = now_ns();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t)
+      threads.emplace_back([&, t] {
+        serve::Request req;
+        req.verb = "describe";
+        req.nest_text = kHotCFor;
+        auto& mine = lat[static_cast<size_t>(t)];
+        mine.reserve(kReqPerClient);
+        for (int r = 0; r < kReqPerClient; ++r) {
+          req.params = {{"N", 1000 + 100 * ((r + t) % kHotParams)}};
+          const i64 t0 = now_ns();
+          const serve::Response resp = serve::handle_request(front, req);
+          mine.push_back(now_ns() - t0);
+          if (!resp.ok) {
+            std::fprintf(stderr, "FAIL: request error: %s", resp.payload.c_str());
+            std::exit(1);
+          }
+        }
+      });
+    for (auto& th : threads) th.join();
+  }
+  const double phase1_s = static_cast<double>(now_ns() - t_phase1) / 1e9;
+  std::vector<i64> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  const double requests_per_s = static_cast<double>(all.size()) / phase1_s;
+  const i64 p50_req = percentile(all, 0.50);
+  const i64 p99_req = percentile(all, 0.99);
+  const PlanCacheStats fs = front.stats();
+  const double hit_rate =
+      fs.lookups() ? static_cast<double>(fs.hits) / static_cast<double>(fs.lookups()) : 0.0;
+
+  std::printf("%-34s %12.0f req/s\n", "protocol throughput (describe)", requests_per_s);
+  std::printf("%-34s %9.1f us   p99 %9.1f us\n", "request latency p50",
+              static_cast<double>(p50_req) / 1e3, static_cast<double>(p99_req) / 1e3);
+  std::printf("%-34s %11.1f %%   (%lld hits / %lld lookups)\n", "cache hit rate",
+              100.0 * hit_rate, static_cast<long long>(fs.hits),
+              static_cast<long long>(fs.lookups()));
+  bench::rule();
+
+  // ----------------------------------- phase 2: head-of-line SLO (1 shard)
+  // Min-merged over --trials passes (the repo's convention for riding
+  // out interference bursts on shared CI hosts).
+  const int kBuilders = 2;
+  const int kColdBuildsPerBuilder = 12;
+  const i64 kHotN = 3000;
+  i64 best_unc = -1, best_cont = -1;
+  i64 cold_ns_sum = 0, cold_builds = 0;
+
+  for (int trial = 0; trial < std::max(1, args.trials); ++trial) {
+    PlanCache shard(8, 1);  // one shard: every key contends by construction
+    shard.get(triangular(), {{"N", kHotN}});
+
+    // Uncontended hit p99.
+    std::vector<i64> unc;
+    unc.reserve(20000);
+    for (int r = 0; r < 20000; ++r) {
+      const i64 t0 = now_ns();
+      (void)shard.get_with_outcome(triangular(), {{"N", kHotN}});
+      unc.push_back(now_ns() - t0);
+    }
+
+    // Contended: builders force distinct cold quartic plans through the
+    // same (only) shard while one hitter hammers the hot key.
+    std::atomic<int> builders_left{kBuilders};
+    // Distinct across trials too; stays small (large constant shifts
+    // push the quartic outside the default calibration domain).
+    std::atomic<i64> shift_counter{trial * kBuilders * kColdBuildsPerBuilder};
+    std::vector<std::thread> builders;
+    std::atomic<i64> trial_cold_ns{0};
+    std::atomic<i64> trial_cold_n{0};
+    for (int b = 0; b < kBuilders; ++b)
+      builders.emplace_back([&] {
+        for (int i = 0; i < kColdBuildsPerBuilder; ++i) {
+          const i64 shift = shift_counter.fetch_add(1);
+          const i64 t0 = now_ns();
+          const GetResult r = shard.get_with_outcome(shifted_simplex4(shift), {{"N", 40}});
+          trial_cold_ns += now_ns() - t0;
+          ++trial_cold_n;
+          if (r.outcome != GetOutcome::ColdBuild) {
+            std::fprintf(stderr, "FAIL: expected a cold build, got %s\n",
+                         get_outcome_name(r.outcome));
+            std::exit(1);
+          }
+        }
+        --builders_left;
+      });
+
+    std::vector<i64> cont;
+    cont.reserve(1 << 18);
+    while (builders_left.load() > 0) {
+      const i64 t0 = now_ns();
+      (void)shard.get_with_outcome(triangular(), {{"N", kHotN}});
+      cont.push_back(now_ns() - t0);
+    }
+    for (auto& th : builders) th.join();
+
+    const i64 p99u = percentile(unc, 0.99);
+    const i64 p99c = percentile(cont, 0.99);
+    if (best_unc < 0 || p99u < best_unc) best_unc = p99u;
+    if (best_cont < 0 || p99c < best_cont) best_cont = p99c;
+    cold_ns_sum += trial_cold_ns.load();
+    cold_builds += trial_cold_n.load();
+    std::printf("trial %d: hit p99 %8.2f us uncontended, %8.2f us under %lld cold builds "
+                "(%zu contended samples)\n",
+                trial, static_cast<double>(p99u) / 1e3, static_cast<double>(p99c) / 1e3,
+                static_cast<long long>(trial_cold_n.load()), cont.size());
+  }
+
+  const double cold_build_ms =
+      cold_builds ? static_cast<double>(cold_ns_sum) / static_cast<double>(cold_builds) / 1e6
+                  : 0.0;
+  const double ratio =
+      best_unc > 0 ? static_cast<double>(best_cont) / static_cast<double>(best_unc) : 0.0;
+  const i64 slo_ns = std::max(10 * best_unc, slo_floor_ns);
+  const bool slo_ok = best_cont <= slo_ns;
+
+  bench::rule();
+  std::printf("%-34s %9.2f us\n", "hit p99, uncontended", static_cast<double>(best_unc) / 1e3);
+  std::printf("%-34s %9.2f us   (%.1fx; mean cold build %.1f ms)\n",
+              "hit p99, cold binds in flight", static_cast<double>(best_cont) / 1e3, ratio,
+              cold_build_ms);
+  std::printf("%-34s %9.2f us   -> %s\n", "SLO: p99 <= max(10x, floor)",
+              static_cast<double>(slo_ns) / 1e3, slo_ok ? "OK" : "FAIL");
+
+  const std::string out = args.out.empty() ? "BENCH_serving.json" : args.out;
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"serving_hammer\",\n");
+    std::fprintf(f, "  \"clients\": %d,\n", clients);
+    std::fprintf(f, "  \"requests_per_s\": %.1f,\n", requests_per_s);
+    std::fprintf(f, "  \"p50_request_ns\": %lld,\n", static_cast<long long>(p50_req));
+    std::fprintf(f, "  \"p99_request_ns\": %lld,\n", static_cast<long long>(p99_req));
+    std::fprintf(f, "  \"hit_rate\": %.4f,\n", hit_rate);
+    std::fprintf(f, "  \"slo\": {\n");
+    std::fprintf(f, "    \"p99_hit_uncontended_ns\": %lld,\n", static_cast<long long>(best_unc));
+    std::fprintf(f, "    \"p99_hit_contended_ns\": %lld,\n", static_cast<long long>(best_cont));
+    std::fprintf(f, "    \"contended_over_uncontended\": %.2f,\n", ratio);
+    std::fprintf(f, "    \"cold_build_ms_mean\": %.2f,\n", cold_build_ms);
+    std::fprintf(f, "    \"floor_ns\": %lld,\n", static_cast<long long>(slo_floor_ns));
+    std::fprintf(f, "    \"ok\": %s\n", slo_ok ? "true" : "false");
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out.c_str());
+    return 1;
+  }
+
+  if (!slo_ok) {
+    std::fprintf(stderr,
+                 "FAIL: contended hit p99 %.2f us exceeds the SLO %.2f us "
+                 "(uncontended p99 %.2f us; cached hits are queueing behind cold binds)\n",
+                 static_cast<double>(best_cont) / 1e3, static_cast<double>(slo_ns) / 1e3,
+                 static_cast<double>(best_unc) / 1e3);
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@ on well-formed input.
 Usage:
   trajectory.py --current BENCH_recovery.json \
                 [--current-fig9 BENCH_fig9.json] \
+                [--current-serving BENCH_serving.json] \
                 [--history BENCH_trajectory.json] \
                 --out-json BENCH_trajectory.json \
                 --out-md BENCH_trajectory.md \
@@ -46,6 +47,7 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", required=True)
     ap.add_argument("--current-fig9", default="")
+    ap.add_argument("--current-serving", default="")
     ap.add_argument("--history", default="")
     ap.add_argument("--out-json", required=True)
     ap.add_argument("--out-md", required=True)
@@ -103,6 +105,20 @@ def main():
                 "checksum_ok": bool(k.get("checksum_ok", False)),
             }
             for k in fig9["kernels"]
+        }
+
+    serving = (load_json(args.current_serving, None)
+               if args.current_serving else None)
+    if serving and "slo" in serving:
+        slo = serving["slo"]
+        entry["serving"] = {
+            "requests_per_s": serving.get("requests_per_s"),
+            "p99_request_ns": serving.get("p99_request_ns"),
+            "hit_rate": serving.get("hit_rate"),
+            "p99_hit_uncontended_ns": slo.get("p99_hit_uncontended_ns"),
+            "p99_hit_contended_ns": slo.get("p99_hit_contended_ns"),
+            "contended_over_uncontended": slo.get("contended_over_uncontended"),
+            "slo_ok": bool(slo.get("ok", False)),
         }
 
     runs.append(entry)
@@ -210,6 +226,44 @@ def main():
                 mark = "" if d.get("checksum_ok", True) else " ✗"
                 cells.append(("—" if g is None else f"{100.0 * g:+.1f}%") + mark)
             lines.append("| " + " | ".join(cells) + " |")
+
+    # Table 3: serving trajectory (serving_hammer), when any run recorded it.
+    if any("serving" in r for r in runs):
+        lines += [
+            "",
+            "## Serving trajectory (serving_hammer)",
+            "",
+            "Protocol throughput over the process-global cache, and the "
+            "serving SLO: cached-hit p99 with cold quartic binds in flight "
+            "on the same shard must stay within 10x of the uncontended hit "
+            "p99 (enforced by the bench's exit status; ✗ marks a violation).",
+            "",
+            "| run | sha | req/s | req p99 µs | hit rate | hit p99 unc µs "
+            "| hit p99 cont µs | cont/unc |",
+            "|" + "---|" * 8,
+        ]
+        for r in runs[-MD_ROWS:]:
+            s = r.get("serving")
+            if s is None:
+                continue
+
+            def us(v):
+                return "—" if v is None else f"{v / 1e3:.1f}"
+
+            rps = s.get("requests_per_s")
+            hr = s.get("hit_rate")
+            ratio = s.get("contended_over_uncontended")
+            lines.append(
+                "| " + " | ".join([
+                    str(r.get("run", "?")), str(r.get("sha", "?")),
+                    "—" if rps is None else f"{rps:,.0f}",
+                    us(s.get("p99_request_ns")),
+                    "—" if hr is None else f"{100.0 * hr:.1f}%",
+                    us(s.get("p99_hit_uncontended_ns")),
+                    us(s.get("p99_hit_contended_ns")),
+                    ("—" if ratio is None else f"{ratio:.2f}x")
+                    + (" ✓" if s.get("slo_ok") else " ✗"),
+                ]) + " |")
 
     with open(args.out_md, "w", encoding="utf-8") as f:
         f.write("\n".join(lines) + "\n")

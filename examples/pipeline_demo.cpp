@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "nrcollapse.hpp"
 
@@ -71,5 +72,17 @@ for (i = 0; i < N - 1; i++)
   std::printf("\ngenerated C (%s style):\n%s",
               schedule.describe().c_str(),
               emit_collapsed_function(emittable, plan->collapsed(), emit).c_str());
+
+  // 5. Persistence: snapshot the cache, then warm-start a fresh one
+  //    from the stream — the restarted-server flow (nrcd --snapshot)
+  //    in miniature.  Every replayed domain is then a pure hit.
+  std::stringstream snap;
+  const size_t written = plan_cache().snapshot(snap);
+  PlanCache restarted;  // stands in for the cache of a new process
+  const size_t loaded = restarted.warm_start(snap);
+  const GetResult after = restarted.get_with_outcome(prog.nest, {{"N", N}});
+  std::printf("\nsnapshot/warm-start: %zu plans written, %zu replayed; "
+              "first request after restart: %s\n",
+              written, loaded, get_outcome_name(after.outcome));
   return 0;
 }

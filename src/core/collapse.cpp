@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <list>
+#include <mutex>
 
 #include "core/real_solvers.hpp"
+#include "core/runtime_config.hpp"
 #include "runtime/simd_abi.hpp"
 #include "support/error.hpp"
 #include "symbolic/print_c.hpp"
@@ -74,6 +77,16 @@ struct Collapsed::Impl {
   std::vector<LevelFormula> levels;
   std::vector<std::string> slots;
   CollapseOptions opts;
+
+  // Parameter-keyed bind memo: re-binding the same parameters (cache
+  // eviction rebuilds, deserialized plans, warm starts) copies the
+  // memoized pristine evaluator — sharing nothing mutable, FlatPoly
+  // layouts and the f64-guard proof included — instead of redoing the
+  // lowering.  Small and linearly scanned; LRU beyond capacity.
+  static constexpr size_t kBindMemoCapacity = 8;
+  mutable std::mutex bind_mu;
+  mutable std::list<std::pair<ParamMap, std::shared_ptr<const CollapsedEval>>> bind_memo;
+  mutable size_t bind_reuses = 0;
 };
 
 const NestSpec& Collapsed::nest() const { return impl_->rs.nest; }
@@ -158,7 +171,50 @@ std::string Collapsed::describe() const {
   return s;
 }
 
+namespace {
+
+/// Apply the process-global RuntimeConfig defaults to a freshly bound
+/// (or memo-copied) evaluator.  The per-instance hooks stay available to
+/// diverge individual evaluators afterwards.
+void apply_runtime_config(CollapsedEval& ev) {
+  const RuntimeConfig& cfg = runtime_config();
+  ev.set_f64_guards(cfg.f64_guards);
+  if (cfg.bytecode_quartics) ev.use_bytecode_quartics();
+  if (cfg.force_quartic_demotion) ev.force_quartic_demotion();
+}
+
+}  // namespace
+
 CollapsedEval Collapsed::bind(const ParamMap& params) const {
+  const Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.bind_mu);
+    for (auto it = im.bind_memo.begin(); it != im.bind_memo.end(); ++it) {
+      if (it->first == params) {
+        im.bind_memo.splice(im.bind_memo.begin(), im.bind_memo, it);
+        ++im.bind_reuses;
+        CollapsedEval ev = *it->second;
+        apply_runtime_config(ev);
+        return ev;
+      }
+    }
+  }
+  CollapsedEval ev = bind_fresh(params);
+  {
+    std::lock_guard<std::mutex> lock(im.bind_mu);
+    im.bind_memo.emplace_front(params, std::make_shared<const CollapsedEval>(ev));
+    if (im.bind_memo.size() > Impl::kBindMemoCapacity) im.bind_memo.pop_back();
+  }
+  apply_runtime_config(ev);
+  return ev;
+}
+
+size_t Collapsed::bind_reuses() const {
+  std::lock_guard<std::mutex> lock(impl_->bind_mu);
+  return impl_->bind_reuses;
+}
+
+CollapsedEval Collapsed::bind_fresh(const ParamMap& params) const {
   const Impl& im = *impl_;
   const NestSpec& spec = im.rs.nest;
   const int c = spec.depth();

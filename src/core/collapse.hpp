@@ -81,7 +81,19 @@ class Collapsed {
 
   /// Bind concrete parameter values, producing the runtime evaluator.
   /// Throws SpecError if a parameter is missing or the domain is empty.
+  ///
+  /// Re-binding the same parameters on the same Collapsed (an evicted
+  /// cache entry rebuilt, a deserialized plan re-bound, a warm_start)
+  /// returns a copy of the memoized evaluator instead of re-folding
+  /// bounds, rebuilding FlatPoly layouts and re-running the f64-guard
+  /// proof — the memo stores the pristine evaluator, and the
+  /// RuntimeConfig defaults are applied to the returned copy, so
+  /// config changes between binds still take effect.  Thread-safe.
   CollapsedEval bind(const ParamMap& params) const;
+
+  /// How many bind() calls were served from the parameter memo (the
+  /// FlatPoly-reuse fast path) over this Collapsed's lifetime.
+  size_t bind_reuses() const;
 
   /// Human-readable report: ranking polynomial, trip count, per-level
   /// recovery formulas and the solver each level lowers to at bind time.
@@ -89,6 +101,7 @@ class Collapsed {
 
  private:
   friend Collapsed collapse(const NestSpec&, const CollapseOptions&);
+  CollapsedEval bind_fresh(const ParamMap& params) const;
   struct Impl;
   std::shared_ptr<const Impl> impl_;
 };

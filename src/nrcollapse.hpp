@@ -22,6 +22,7 @@
 #include "core/count.hpp"
 #include "core/increment.hpp"
 #include "core/ranking.hpp"
+#include "core/runtime_config.hpp"
 #include "core/unrank_closed.hpp"
 #include "core/unrank_newton.hpp"
 #include "core/unrank_search.hpp"
@@ -46,6 +47,8 @@
 #include "runtime/simd.hpp"
 #include "runtime/thread_stats.hpp"
 #include "runtime/warp.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serialization.hpp"
 #include "symbolic/compile.hpp"
 #include "symbolic/expr.hpp"
 #include "symbolic/print_c.hpp"

@@ -22,6 +22,7 @@
 // number of threads concurrently — the property the concurrent plan
 // cache relies on to hand one plan to many threads.
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +62,26 @@ class CollapsePlan {
   /// the auto-selected schedule, and — for plans built through a
   /// PlanCache — that cache's hit/miss/eviction counters.
   std::string describe() const;
+
+  /// Serialize everything needed to rebuild this plan bit-identically —
+  /// the nest (rendered through the DSL), the CollapseOptions, the
+  /// bound parameters and the per-level solver kinds bind() chose (an
+  /// integrity record: deserialize() re-derives them and rejects a
+  /// mismatch) — as a self-delimiting text block.  Plans are pure
+  /// values, so rebuild-from-record is exact; serialize() is stable
+  /// (serialize(deserialize(s)) == s).  Implemented in
+  /// serve/serialization.cpp.
+  void serialize(std::ostream& os) const;
+  std::string serialize() const;
+
+  /// Rebuild a plan from one serialize() block: parse, collapse, bind,
+  /// then verify the recorded per-level solver kinds match what this
+  /// build chose (throws SpecError on mismatch, ParseError on a
+  /// malformed block).  Rebinding a nest whose symbolic artifact is
+  /// still alive reuses its FlatPoly layouts via the Collapsed bind
+  /// memo.
+  static std::shared_ptr<const CollapsePlan> deserialize(std::istream& is);
+  static std::shared_ptr<const CollapsePlan> deserialize(const std::string& s);
 
  private:
   friend class PlanCache;

@@ -1,6 +1,9 @@
 #include "pipeline/plan_cache.hpp"
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -41,6 +44,18 @@ std::string CollapsePlan::describe() const {
 
 // ----------------------------------------------------------------- PlanCache
 
+const char* get_outcome_name(GetOutcome o) {
+  switch (o) {
+    case GetOutcome::Hit:
+      return "hit";
+    case GetOutcome::SymbolicHit:
+      return "symbolic";
+    case GetOutcome::ColdBuild:
+      return "cold";
+  }
+  return "?";
+}
+
 std::string plan_cache_key(const NestSpec& nest, const ParamMap& params,
                            const CollapseOptions& opts) {
   // nest.str() renders every loop's bounds exactly, so two nests share a
@@ -62,23 +77,47 @@ std::string plan_cache_key(const NestSpec& nest, const ParamMap& params,
 /// hold a weak reference for describe() without extending the cache's
 /// lifetime (and without dangling after it).
 struct PlanCacheState {
+  using PlanPtr = std::shared_ptr<const CollapsePlan>;
+  using PlanFuture = std::shared_future<PlanPtr>;
+
+  /// A shard entry is a build future, not a plan: installed under the
+  /// shard lock before the build starts, resolved by the builder
+  /// outside all locks.  The id distinguishes this installation from a
+  /// later reinstall of the same key (the failing builder must only
+  /// uncache its OWN entry — the key may have been evicted and rebuilt
+  /// by someone else while it was building).
+  struct Entry {
+    std::uint64_t id = 0;
+    PlanFuture fut;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     PlanCacheStats stats;
-    /// LRU order, most recent at the front; each entry owns its plan.
-    std::list<std::pair<std::string, std::shared_ptr<const CollapsePlan>>> lru;
+    /// LRU order, most recent at the front; each entry owns its future.
+    std::list<std::pair<std::string, Entry>> lru;
     std::unordered_map<std::string, decltype(lru)::iterator> map;
+    std::uint64_t next_id = 0;
   };
 
   size_t capacity;
   std::vector<std::unique_ptr<Shard>> shards;
+
   /// Symbolic artifacts keyed without the parameters (cache-global: a
   /// fresh parameter set can land on any shard), so a new parameter set
-  /// on a known nest skips collapse() and pays only bind().  sym_mu is
-  /// only ever acquired inside a shard lock — one lock order, no
-  /// deadlock.
+  /// on a known nest skips collapse() and pays only bind().  LRU like
+  /// the plan shards, bounded at capacity * shards; evictions count in
+  /// the merged stats as symbolic_evictions.  sym_mu is never held
+  /// together with a shard lock (builds run outside shard locks), so
+  /// there is no lock-order concern.
   mutable std::mutex sym_mu;
-  std::unordered_map<std::string, Collapsed> symbolic;
+  std::list<std::pair<std::string, Collapsed>> sym_lru;
+  std::unordered_map<std::string, decltype(sym_lru)::iterator> sym_map;
+  i64 symbolic_evictions = 0;  // guarded by sym_mu
+
+  /// Test instrumentation (set_build_hook); called outside all locks.
+  mutable std::mutex hook_mu;
+  std::function<void(const std::string&)> build_hook;
 
   PlanCacheStats merged_stats() const {
     PlanCacheStats total;
@@ -86,6 +125,8 @@ struct PlanCacheState {
       std::lock_guard<std::mutex> lock(sh->mu);
       total += sh->stats;
     }
+    std::lock_guard<std::mutex> sym_lock(sym_mu);
+    total.symbolic_evictions += symbolic_evictions;
     return total;
   }
   size_t plan_count() const {
@@ -102,7 +143,8 @@ std::string plan_cache_state_stats_line(const PlanCacheState& st) {
   const PlanCacheStats s = st.merged_stats();
   return "plan cache: " + std::to_string(s.hits) + " hits / " +
          std::to_string(s.misses) + " misses (" + std::to_string(s.symbolic_hits) +
-         " symbolic hits), " + std::to_string(s.evictions) + " evictions, " +
+         " symbolic hits), " + std::to_string(s.evictions) + " evictions (" +
+         std::to_string(s.symbolic_evictions) + " symbolic), " +
          std::to_string(st.plan_count()) + " plans";
 }
 
@@ -117,65 +159,158 @@ PlanCache::PlanCache(size_t capacity_per_shard, size_t shards)
 
 PlanCache::~PlanCache() = default;
 
-std::shared_ptr<const CollapsePlan> PlanCache::get(const NestSpec& nest,
-                                                   const ParamMap& params,
-                                                   const CollapseOptions& opts) {
+GetResult PlanCache::get_with_outcome(const NestSpec& nest, const ParamMap& params,
+                                      const CollapseOptions& opts) {
   PlanCacheState& st = *state_;
   const std::string key = plan_cache_key(nest, params, opts);
   PlanCacheState::Shard& sh =
       *st.shards[std::hash<std::string>{}(key) % st.shards.size()];
 
-  std::lock_guard<std::mutex> lock(sh.mu);
-  if (auto it = sh.map.find(key); it != sh.map.end()) {
-    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // refresh LRU position
-    ++sh.stats.hits;
-    return it->second->second;
-  }
-
-  // Miss: build under the shard lock, so concurrent requests for the
-  // same key perform exactly one build (requests for other shards are
-  // unaffected; same-shard requests for other keys wait — the price of
-  // once-exactly semantics without per-entry bookkeeping).  The
-  // symbolic table is cache-global (its key drops the parameters, so a
-  // fresh parameter set can land on any shard) behind its own mutex,
-  // always acquired strictly inside a shard lock — one lock order, no
-  // deadlock.  sym_key is only needed here, off the hit path.
-  const std::string sym_key = plan_cache_key(nest, {}, opts);
-  Collapsed col;
-  bool have_symbolic = false;
+  // Phase 1, under the shard lock: look up or install the entry.  The
+  // lock is held for map/list surgery only — never across a build or a
+  // future wait — so hits on this shard stay O(µs) while a cold quartic
+  // bind is in flight.
+  std::promise<PlanCacheState::PlanPtr> prom;
+  PlanCacheState::PlanFuture fut;
+  std::uint64_t my_id = 0;
+  bool builder = false;
   {
-    std::lock_guard<std::mutex> sym_lock(st.sym_mu);
-    if (auto sit = st.symbolic.find(sym_key); sit != st.symbolic.end()) {
-      col = sit->second;
-      have_symbolic = true;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (auto it = sh.map.find(key); it != sh.map.end()) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // refresh LRU position
+      fut = it->second->second.fut;
+    } else {
+      builder = true;
+      my_id = ++sh.next_id;
+      fut = prom.get_future().share();
+      sh.lru.emplace_front(key, PlanCacheState::Entry{my_id, fut});
+      sh.map.emplace(key, sh.lru.begin());
+      if (sh.lru.size() > st.capacity) {
+        // Evicting an in-flight entry is safe: waiters hold their own
+        // future copies and the builder resolves its promise regardless
+        // (it only loses the right to stay cached).
+        sh.map.erase(sh.lru.back().first);
+        sh.lru.pop_back();
+        ++sh.stats.evictions;
+      }
     }
   }
-  if (!have_symbolic) {
-    col = collapse(nest, opts);
-    std::lock_guard<std::mutex> sym_lock(st.sym_mu);
-    // Bounded without per-entry bookkeeping: symbolic artifacts are
-    // rebuildable pure values, so wholesale clearing on overflow stays
-    // correct.
-    if (st.symbolic.size() >= st.capacity * st.shards.size()) st.symbolic.clear();
-    st.symbolic.emplace(sym_key, col);
-  }
-  // bind() may throw (empty domain, missing parameter): no plan is
-  // cached then, but the symbolic artifact above is still worth keeping.
-  CollapsedEval ev = col.bind(params);
-  auto plan = std::shared_ptr<CollapsePlan>(
-      new CollapsePlan(std::move(col), std::move(ev), opts));
-  plan->origin_ = state_;
 
-  ++sh.stats.misses;
-  if (have_symbolic) ++sh.stats.symbolic_hits;
-  sh.lru.emplace_front(key, plan);
-  sh.map.emplace(key, sh.lru.begin());
-  if (sh.lru.size() > st.capacity) {
-    sh.map.erase(sh.lru.back().first);
-    sh.lru.pop_back();
-    ++sh.stats.evictions;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed_ns = [&t0] {
+    return static_cast<i64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+  };
+
+  if (!builder) {
+    // Waiter path: block on the entry's future, not the shard.  A
+    // completed entry returns immediately; an in-flight build makes
+    // this request pay the residual build time (reported in build_ns).
+    // A failed build rethrows the builder's exception here, and the
+    // builder has already uncached the entry.  Counters move only on
+    // success, matching the pre-future semantics.
+    PlanCacheState::PlanPtr plan = fut.get();
+    const i64 waited = elapsed_ns();
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      ++sh.stats.hits;
+    }
+    return {std::move(plan), GetOutcome::Hit, waited};
   }
-  return plan;
+
+  // Phase 2, builder path, OUTSIDE all locks: symbolic lookup/build,
+  // bind, then resolve the future.
+  try {
+    {
+      std::function<void(const std::string&)> hook;
+      {
+        std::lock_guard<std::mutex> hlock(st.hook_mu);
+        hook = st.build_hook;
+      }
+      if (hook) hook(key);
+    }
+
+    const std::string sym_key = plan_cache_key(nest, {}, opts);
+    Collapsed col;
+    bool have_symbolic = false;
+    {
+      std::lock_guard<std::mutex> sym_lock(st.sym_mu);
+      if (auto sit = st.sym_map.find(sym_key); sit != st.sym_map.end()) {
+        st.sym_lru.splice(st.sym_lru.begin(), st.sym_lru, sit->second);
+        col = sit->second->second;
+        have_symbolic = true;
+      }
+    }
+    if (!have_symbolic) {
+      col = collapse(nest, opts);
+      std::lock_guard<std::mutex> sym_lock(st.sym_mu);
+      // A concurrent builder of a sibling key may have inserted the
+      // same symbolic artifact while we collapsed; keep the first.
+      if (st.sym_map.find(sym_key) == st.sym_map.end()) {
+        st.sym_lru.emplace_front(sym_key, col);
+        st.sym_map.emplace(sym_key, st.sym_lru.begin());
+        if (st.sym_lru.size() > st.capacity * st.shards.size()) {
+          st.sym_map.erase(st.sym_lru.back().first);
+          st.sym_lru.pop_back();
+          ++st.symbolic_evictions;
+        }
+      }
+    }
+
+    // bind() may throw (empty domain, missing parameter): the entry is
+    // then uncached below, but the symbolic artifact stays worth keeping.
+    CollapsedEval ev = col.bind(params);
+    auto plan = std::shared_ptr<CollapsePlan>(
+        new CollapsePlan(std::move(col), std::move(ev), opts));
+    plan->origin_ = state_;
+    prom.set_value(plan);
+
+    const i64 built = elapsed_ns();
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      ++sh.stats.misses;
+      if (have_symbolic) ++sh.stats.symbolic_hits;
+    }
+    return {std::move(plan), have_symbolic ? GetOutcome::SymbolicHit : GetOutcome::ColdBuild,
+            built};
+  } catch (...) {
+    // Propagate the failure to every waiter blocked on the future, then
+    // uncache — but only OUR installation: the entry may already have
+    // been evicted (and possibly reinstalled by a later request) while
+    // we were building.
+    prom.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if (auto it = sh.map.find(key);
+          it != sh.map.end() && it->second->second.id == my_id) {
+        sh.lru.erase(it->second);
+        sh.map.erase(it);
+      }
+    }
+    throw;
+  }
+}
+
+std::vector<std::shared_ptr<const CollapsePlan>> PlanCache::completed_plans() const {
+  // Two passes so no shard lock is held while touching futures: copy
+  // the futures out under the locks, then harvest the completed ones.
+  std::vector<PlanCacheState::PlanFuture> futs;
+  for (const auto& sh : state_->shards) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& [key, entry] : sh->lru) futs.push_back(entry.fut);
+  }
+  std::vector<std::shared_ptr<const CollapsePlan>> plans;
+  plans.reserve(futs.size());
+  for (const auto& f : futs) {
+    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) continue;
+    try {
+      plans.push_back(f.get());
+    } catch (...) {
+      // A failed build racing with uncache; skip it.
+    }
+  }
+  return plans;
 }
 
 PlanCacheStats PlanCache::stats() const { return state_->merged_stats(); }
@@ -200,11 +335,17 @@ void PlanCache::clear() {
     sh->map.clear();
   }
   std::lock_guard<std::mutex> sym_lock(st.sym_mu);
-  st.symbolic.clear();
+  st.sym_lru.clear();
+  st.sym_map.clear();
 }
 
 std::string PlanCache::stats_line() const {
   return plan_cache_state_stats_line(*state_);
+}
+
+void PlanCache::set_build_hook(std::function<void(const std::string& key)> hook) {
+  std::lock_guard<std::mutex> lock(state_->hook_mu);
+  state_->build_hook = std::move(hook);
 }
 
 PlanCache& plan_cache() {

@@ -10,22 +10,38 @@
 //   (nest structure, CollapseOptions, bound parameters)  ->  CollapsePlan
 //
 // so a repeated domain skips symbolic build and bind entirely, and —
-// through a second, per-shard symbolic table keyed without the
-// parameters — a *new* parameter set on a known nest still skips the
-// symbolic half and pays only bind().
+// through a cache-global symbolic table keyed without the parameters —
+// a *new* parameter set on a known nest still skips the symbolic half
+// and pays only bind().
 //
 // Concurrency: the key hash picks a shard; each shard is an
-// independently locked LRU map, so gets on different shards never
-// contend.  A shard builds missing plans under its lock — concurrent
-// requests for the same key therefore perform exactly ONE build and
-// every caller receives the same shared immutable plan (the property
-// the concurrent hammer test pins down).  Counters are per shard and
-// merged by stats().
+// independently locked LRU map whose entries hold
+// std::shared_future<plan>, not plans.  The shard lock is only ever
+// held to look up or install an entry — the symbolic build and bind run
+// OUTSIDE all locks — so a ~21 ms cold quartic bind no longer
+// serializes the ~1 µs hits that hash to the same shard.  Concurrent
+// misses for the same key still perform exactly ONE build: the first
+// requester installs the future and builds, later requesters find the
+// entry and block on the future (not the shard), and every caller
+// receives the same shared immutable plan (the property the concurrent
+// hammer test pins down).  A failed build propagates its exception
+// through the future to every waiter and then uncaches the entry, so
+// the next request retries cleanly.  Counters are per shard, counted on
+// success only, and merged by stats().
 //
 // Eviction: per-shard LRU with a fixed capacity; an evicted key is
 // simply rebuilt on next use — plans are pure values, so a rebuilt plan
-// is byte-identical to the evicted one (tested).
+// is byte-identical to the evicted one (tested; the Collapsed bind memo
+// makes the rebind a copy rather than a re-lowering).  The symbolic
+// table is LRU-bounded the same way (symbolic_evictions).
+//
+// Persistence: snapshot() serializes every completed plan to a stream
+// and warm_start() replays such a stream through the normal get() path,
+// so a restarted server begins life with a hot cache (see
+// serve/serialization.cpp and the nrcd example).
 
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,14 +58,40 @@ struct PlanCacheStats {
   i64 symbolic_hits = 0;  ///< misses that reused a cached symbolic Collapsed
                           ///< (only bind() ran)
   i64 evictions = 0;      ///< plans dropped by the per-shard LRU
+  i64 symbolic_evictions = 0;  ///< symbolic artifacts dropped by the
+                               ///< cache-global table's LRU (reported in
+                               ///< merged stats() only — the table is not
+                               ///< per-shard)
   i64 lookups() const { return hits + misses; }
   PlanCacheStats& operator+=(const PlanCacheStats& o) {
     hits += o.hits;
     misses += o.misses;
     symbolic_hits += o.symbolic_hits;
     evictions += o.evictions;
+    symbolic_evictions += o.symbolic_evictions;
     return *this;
   }
+};
+
+/// How a get() was served — the per-request cost attribution the
+/// serving layer reports instead of diffing global counters.
+enum class GetOutcome {
+  Hit,          ///< completed entry found (or an in-flight build joined)
+  SymbolicHit,  ///< this request built the plan, reusing the cached
+                ///< symbolic Collapsed: only bind() ran
+  ColdBuild,    ///< this request built the plan from scratch
+};
+
+const char* get_outcome_name(GetOutcome o);
+
+/// Result of PlanCache::get_with_outcome().
+struct GetResult {
+  std::shared_ptr<const CollapsePlan> plan;
+  GetOutcome outcome = GetOutcome::Hit;
+  /// ColdBuild/SymbolicHit: the build's duration.  Hit: how long this
+  /// request waited on the entry's future — ~0 for a completed entry,
+  /// the residual build time when it joined an in-flight build.
+  i64 build_ns = 0;
 };
 
 class PlanCache {
@@ -63,19 +105,45 @@ class PlanCache {
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// The front door: return the cached plan for (nest, opts, params),
-  /// building and inserting it on a miss.  Throws as
-  /// CollapsePlan::build throws (nothing is cached on failure).
-  std::shared_ptr<const CollapsePlan> get(const NestSpec& nest, const ParamMap& params,
-                                          const CollapseOptions& opts = {});
+  /// building and inserting it on a miss, with the outcome and the
+  /// nanoseconds this request spent building (or waiting on a build).
+  /// Throws as CollapsePlan::build throws; a failed build is propagated
+  /// to every concurrent waiter and nothing stays cached.
+  GetResult get_with_outcome(const NestSpec& nest, const ParamMap& params,
+                             const CollapseOptions& opts = {});
 
-  /// Counters merged over all shards.
+  /// get_with_outcome() without the attribution.
+  std::shared_ptr<const CollapsePlan> get(const NestSpec& nest, const ParamMap& params,
+                                          const CollapseOptions& opts = {}) {
+    return get_with_outcome(nest, params, opts).plan;
+  }
+
+  /// Serialize every completed plan to `os` (in-flight builds and
+  /// poisoned entries are skipped).  Returns the number written.  The
+  /// format is the CollapsePlan::serialize block stream warm_start()
+  /// reads.
+  size_t snapshot(std::ostream& os) const;
+
+  /// Rebuild plans from a snapshot() stream through the normal get()
+  /// path (so counters, the symbolic table and the LRU behave as if the
+  /// requests had arrived over the wire).  Returns the number of plans
+  /// loaded.  Throws ParseError on a malformed stream; throws as bind()
+  /// throws if a recorded domain no longer binds.
+  size_t warm_start(std::istream& is);
+
+  /// Every completed plan currently cached (snapshot()'s enumeration;
+  /// in-flight builds are skipped, order is unspecified).
+  std::vector<std::shared_ptr<const CollapsePlan>> completed_plans() const;
+
+  /// Counters merged over all shards (plus the cache-global
+  /// symbolic_evictions).
   PlanCacheStats stats() const;
 
   /// Per-shard counters (the thread_stats-style breakdown; index ==
   /// shard id).
   std::vector<PlanCacheStats> shard_stats() const;
 
-  /// Cached plan count over all shards.
+  /// Cached plan count over all shards (in-flight builds included).
   size_t size() const;
 
   /// Drop every cached plan and symbolic artifact (counters persist).
@@ -85,6 +153,13 @@ class PlanCache {
   /// "plan cache: 98 hits / 2 misses (1 symbolic hit), 0 evictions, 2 plans".
   std::string stats_line() const;
 
+  /// Test instrumentation: `hook(key)` runs at the start of every build
+  /// this cache performs, outside all locks — it may block (to hold a
+  /// build in flight while the test probes the shard) or throw (to
+  /// fault-inject a failed build).  Pass nullptr to remove.  Not for
+  /// production use.
+  void set_build_hook(std::function<void(const std::string& key)> hook);
+
  private:
   /// The whole mutable state (shards, LRU maps, the symbolic table)
   /// sits behind one shared_ptr so plans built here can track their
@@ -92,8 +167,8 @@ class PlanCache {
   std::shared_ptr<PlanCacheState> state_;
 };
 
-/// The process-global default cache (used by the examples and anything
-/// that wants caching without owning a PlanCache instance).
+/// The process-global default cache (used by the examples, the nrcd
+/// server and anything that wants caching without owning a PlanCache).
 PlanCache& plan_cache();
 
 /// The canonical cache key: the nest structure (bounds rendered

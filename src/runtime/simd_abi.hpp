@@ -40,7 +40,8 @@
 #include <cstdint>
 #include <cstring>
 
-#include "support/int128.hpp"  // i64
+#include "core/runtime_config.hpp"  // vector_trig toggle lives there now
+#include "support/int128.hpp"       // i64
 
 #if defined(__AVX2__) && !defined(NRC_NO_AVX2)
 #define NRC_SIMD_AVX2 1
@@ -538,11 +539,12 @@ inline void fill_iota(i64* dst, i64 n, i64 start) {
 /// Process-wide switch between the polynomial lane trig and the
 /// per-lane libm reference path (tests/ablation; not thread-safe, flip
 /// it only around single-threaded test sections).
-inline bool& vector_trig_flag() {
-  static bool on = true;
-  return on;
-}
-inline void set_vector_trig(bool on) { vector_trig_flag() = on; }
+///
+/// DEPRECATED: the flag now lives in nrc::RuntimeConfig (vector_trig);
+/// prefer nrc::runtime_config().vector_trig / ScopedRuntimeConfig.
+/// These forwarders remain for source compatibility.
+inline bool& vector_trig_flag() { return runtime_config().vector_trig; }
+inline void set_vector_trig(bool on) { vector_trig_flag() = on; }  // DEPRECATED: see above
 inline bool vector_trig_enabled() { return vector_trig_flag(); }
 
 /// Lane-wide cos via 2*pi Cody–Waite reduction + even polynomial.

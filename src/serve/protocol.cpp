@@ -1,0 +1,214 @@
+#include "serve/protocol.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/c_for_parser.hpp"
+#include "support/error.hpp"
+
+namespace nrc::serve {
+
+namespace {
+
+std::string strip_ws(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parse the header's "name=value,name=value" parameter list.
+ParamMap parse_params(const std::string& text) {
+  ParamMap params;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find_first_of(",;", pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string tok = strip_ws(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (tok.empty()) continue;
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw ParseError("request: malformed parameter '" + tok + "'");
+    try {
+      size_t used = 0;
+      const i64 v = std::stoll(tok.substr(eq + 1), &used);
+      if (used != tok.size() - eq - 1) throw std::invalid_argument(tok);
+      params[strip_ws(tok.substr(0, eq))] = v;
+    } catch (const std::exception&) {
+      throw ParseError("request: malformed parameter '" + tok + "'");
+    }
+  }
+  return params;
+}
+
+/// Order-insensitive checksum over recovered tuples, so the parallel
+/// schemes all produce the same value: each tuple mixes to one word
+/// (splitmix-style) and the words sum mod 2^64.
+u64 tuple_mix(std::span<const i64> idx) {
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  for (const i64 v : idx) {
+    u64 x = static_cast<u64>(v) + 0x9e3779b97f4a7c15ULL + h;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h = x ^ (x >> 31);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool verb_has_nest(const std::string& verb) {
+  return verb == "describe" || verb == "emit" || verb == "run";
+}
+
+bool read_request(std::istream& is, Request& out) {
+  std::string line;
+  // Skip blank lines between requests; EOF here is a clean end.
+  for (;;) {
+    if (!std::getline(is, line)) return false;
+    if (!strip_ws(line).empty()) break;
+  }
+
+  Request req;
+  std::istringstream header(strip_ws(line));
+  header >> req.verb;
+  std::string rest;
+  std::getline(header, rest);
+  req.params = parse_params(rest);
+
+  if (verb_has_nest(req.verb)) {
+    bool terminated = false;
+    while (std::getline(is, line)) {
+      if (strip_ws(line) == ".") {
+        terminated = true;
+        break;
+      }
+      req.nest_text += line;
+      req.nest_text += '\n';
+    }
+    if (!terminated)
+      throw ParseError("request: nest section missing its '.' terminator");
+  }
+  out = std::move(req);
+  return true;
+}
+
+std::string format_request(const Request& req) {
+  std::string s = req.verb;
+  bool first = true;
+  for (const auto& [name, v] : req.params) {
+    s += first ? " " : ",";
+    s += name + "=" + std::to_string(v);
+    first = false;
+  }
+  s += "\n";
+  if (verb_has_nest(req.verb)) {
+    s += req.nest_text;
+    if (!req.nest_text.empty() && req.nest_text.back() != '\n') s += '\n';
+    s += ".\n";
+  }
+  return s;
+}
+
+std::string format_response(const Response& r) {
+  std::string s;
+  if (r.ok) {
+    s = "ok " + std::to_string(r.payload.size()) + " outcome=" + r.outcome +
+        " build_ns=" + std::to_string(r.build_ns) + "\n";
+  } else {
+    s = "err " + std::to_string(r.payload.size()) + "\n";
+  }
+  s += r.payload;
+  return s;
+}
+
+bool read_response(std::istream& is, Response& out) {
+  std::string line;
+  if (!std::getline(is, line)) return false;
+  std::istringstream header(line);
+  std::string status;
+  size_t nbytes = 0;
+  header >> status >> nbytes;
+  if (status != "ok" && status != "err")
+    throw ParseError("response: malformed status line '" + line + "'");
+  Response r;
+  r.ok = status == "ok";
+  std::string tok;
+  while (header >> tok) {
+    if (tok.rfind("outcome=", 0) == 0) r.outcome = tok.substr(8);
+    if (tok.rfind("build_ns=", 0) == 0) r.build_ns = std::stoll(tok.substr(9));
+  }
+  r.payload.resize(nbytes);
+  is.read(r.payload.data(), static_cast<std::streamsize>(nbytes));
+  if (static_cast<size_t>(is.gcount()) != nbytes)
+    throw ParseError("response: truncated payload");
+  out = std::move(r);
+  return true;
+}
+
+NestProgram parse_nest_text(const std::string& text) {
+  // First non-blank line decides the surface syntax.
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string s = strip_ws(line);
+    if (s.empty()) continue;
+    if (s.rfind("for", 0) == 0 || s.rfind("#pragma", 0) == 0)
+      return parse_c_for_nest(text);
+    break;
+  }
+  return parse_nest_program(text);
+}
+
+Response handle_request(PlanCache& cache, const Request& req, const ServeLimits& limits) {
+  Response resp;
+  try {
+    if (req.verb == "stats") {
+      resp.payload = cache.stats_line() + "\n";
+      return resp;
+    }
+    if (req.verb == "quit") {
+      resp.payload = "bye\n";
+      return resp;
+    }
+    if (!verb_has_nest(req.verb))
+      throw ParseError("request: unknown verb '" + req.verb + "'");
+
+    const NestProgram prog = parse_nest_text(req.nest_text);
+    const NestSpec nest = prog.collapsed_nest();
+    GetResult got = cache.get_with_outcome(nest, req.params);
+    resp.outcome = get_outcome_name(got.outcome);
+    resp.build_ns = got.build_ns;
+    const CollapsePlan& plan = *got.plan;
+
+    if (req.verb == "describe") {
+      resp.payload = plan.describe();
+    } else if (req.verb == "emit") {
+      NestProgram emittable = prog;
+      if (emittable.body.empty()) emittable.body = "/* body */;";
+      EmitOptions emit;
+      emit.schedule = plan.auto_schedule();
+      resp.payload = emit_collapsed_function(emittable, plan.collapsed(), emit);
+    } else {  // run
+      if (plan.eval().trip_count() > limits.max_run_trip)
+        throw SpecError("run: domain has " + std::to_string(plan.eval().trip_count()) +
+                        " iterations, over the serving limit of " +
+                        std::to_string(limits.max_run_trip));
+      u64 checksum = 0;
+      nrc::run(plan, plan.auto_schedule(), [&](std::span<const i64> idx) {
+        const u64 mix = tuple_mix(idx);
+#pragma omp atomic
+        checksum += mix;
+      });
+      resp.payload = "checksum " + std::to_string(checksum) + "\ntrip " +
+                     std::to_string(plan.eval().trip_count()) + "\n";
+    }
+    return resp;
+  } catch (const Error& e) {
+    return Response{false, std::string(e.what()) + "\n", "-", 0};
+  }
+}
+
+}  // namespace nrc::serve

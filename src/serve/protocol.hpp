@@ -1,0 +1,97 @@
+#pragma once
+// nrcd line protocol: the transport-free half of the serving front end.
+//
+// The nrcd server (examples/nrcd.cpp) speaks a newline-delimited text
+// protocol; everything except the sockets lives here so the protocol is
+// unit-testable (tests/pipeline/serve_test.cpp) and the serving hammer
+// can drive the exact request path in-process.
+//
+// Request framing:
+//
+//   <verb> [name=value,name=value,...]\n     header: verb + parameters
+//   <nest text: C-for or DSL lines>          (verbs that take a nest)
+//   .\n                                      lone-dot terminator
+//
+// Verbs:
+//   describe  nest+params -> the plan's describe() report
+//   emit      nest+params -> the collapsed nest as OpenMP C (the
+//             auto-selected schedule drives the emission style)
+//   run       nest+params -> execute through the dispatcher, reply with
+//             an order-insensitive checksum and the trip count
+//   stats     (no nest section) -> the cache's stats_line()
+//   quit      (no nest section) -> acknowledged; the server closes the
+//             connection
+//
+// The nest text is auto-detected: lines starting with "for" or
+// "#pragma" parse as the C-for surface syntax, anything else as the
+// nest DSL.  All plans flow through one PlanCache, so repeated domains
+// are pure hits and every response header carries the outcome
+// attribution from PlanCache::get_with_outcome.
+//
+// Response framing (payload is length-prefixed so clients never guess):
+//
+//   ok <payload-bytes> outcome=<hit|symbolic|cold|-> build_ns=<n>\n
+//   <payload-bytes of payload>
+//   err <payload-bytes>\n
+//   <payload-bytes of error message>
+
+#include <iosfwd>
+#include <string>
+
+#include "codegen/dsl_parser.hpp"
+#include "pipeline/plan_cache.hpp"
+
+namespace nrc::serve {
+
+/// Server-side resource limits.
+struct ServeLimits {
+  /// run refuses domains with more iterations than this (a remote
+  /// client must not be able to buy unbounded compute with three lines
+  /// of text).  describe/emit have no such limit — they are O(depth).
+  i64 max_run_trip = 50'000'000;
+};
+
+struct Request {
+  std::string verb;
+  ParamMap params;
+  std::string nest_text;  ///< empty for stats/quit
+};
+
+struct Response {
+  bool ok = true;
+  std::string payload;  ///< reply body; the error message when !ok
+  std::string outcome = "-";
+  i64 build_ns = 0;
+};
+
+/// True for verbs whose request carries a nest section ("describe",
+/// "emit", "run"); stats/quit are header-only.
+bool verb_has_nest(const std::string& verb);
+
+/// Read one request.  Returns false on a clean end-of-stream before a
+/// header; throws ParseError on a malformed header or a nest section
+/// missing its "." terminator.
+bool read_request(std::istream& is, Request& out);
+
+/// Render a request in wire format (client side; used by the tests and
+/// the nrcd self-test client).
+std::string format_request(const Request& req);
+
+/// Render a response in wire format.
+std::string format_response(const Response& r);
+
+/// Read one response (client side).  Returns false on end-of-stream;
+/// throws ParseError on malformed framing.
+bool read_response(std::istream& is, Response& out);
+
+/// Auto-detect and parse the nest text (C-for vs DSL); throws
+/// ParseError.
+NestProgram parse_nest_text(const std::string& text);
+
+/// Serve one request against `cache`.  Never throws: every nrc::Error
+/// (parse failures, empty domains, refused limits) becomes an
+/// ok=false response with the message as payload.
+Response handle_request(PlanCache& cache, const Request& req,
+                        const ServeLimits& limits = {});
+
+}  // namespace nrc::serve

@@ -1,0 +1,242 @@
+// The serving layer: wire framing round-trips, handle_request over all
+// verbs (with per-request cost attribution), the serving trip limit,
+// plan serialization byte-identity on every kernel nest, corrupt-record
+// rejection, and the snapshot/warm_start cache round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_util.hpp"
+#include "codegen/c_for_parser.hpp"
+#include "codegen/dsl_parser.hpp"
+#include "pipeline/plan_cache.hpp"
+#include "polyhedral/domain.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serialization.hpp"
+#include "support/error.hpp"
+
+namespace nrc {
+namespace {
+
+constexpr const char* kTriCFor =
+    "for (i = 0; i < N - 1; i++)\n"
+    "  for (j = i + 1; j < N; j++) {\n"
+    "    /* body */;\n"
+    "  }\n";
+
+serve::Request make_req(const std::string& verb, ParamMap params,
+                        const std::string& nest_text = "") {
+  serve::Request req;
+  req.verb = verb;
+  req.params = std::move(params);
+  req.nest_text = nest_text;
+  return req;
+}
+
+TEST(ServeProtocol, RequestWireRoundTrip) {
+  const serve::Request req = make_req("describe", {{"M", 7}, {"N", 2000}}, kTriCFor);
+  std::istringstream wire(serve::format_request(req));
+  serve::Request back;
+  ASSERT_TRUE(serve::read_request(wire, back));
+  EXPECT_EQ(back.verb, "describe");
+  EXPECT_EQ(back.params, req.params);
+  EXPECT_EQ(back.nest_text, req.nest_text);
+
+  // Header-only verbs carry no nest section and no terminator.
+  std::istringstream wire2(serve::format_request(make_req("stats", {})));
+  ASSERT_TRUE(serve::read_request(wire2, back));
+  EXPECT_EQ(back.verb, "stats");
+  EXPECT_TRUE(back.params.empty());
+  EXPECT_FALSE(serve::read_request(wire2, back));  // clean EOF
+}
+
+TEST(ServeProtocol, ResponseWireRoundTrip) {
+  serve::Response resp;
+  resp.payload = "line one\nline two\n";
+  resp.outcome = "cold";
+  resp.build_ns = 12345;
+  std::istringstream wire(serve::format_response(resp));
+  serve::Response back;
+  ASSERT_TRUE(serve::read_response(wire, back));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.payload, resp.payload);
+  EXPECT_EQ(back.outcome, "cold");
+  EXPECT_EQ(back.build_ns, 12345);
+
+  const serve::Response err{false, "boom\n", "-", 0};
+  std::istringstream wire2(serve::format_response(err));
+  ASSERT_TRUE(serve::read_response(wire2, back));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.payload, "boom\n");
+}
+
+TEST(ServeProtocol, MalformedRequestsThrowParseError) {
+  serve::Request req;
+  std::istringstream unterminated("describe N=5\nfor (i = 0; i < N; i++) {}\n");
+  EXPECT_THROW(serve::read_request(unterminated, req), ParseError);
+
+  std::istringstream bad_param("describe N=abc\nfor (i = 0; i < N; i++) {}\n.\n");
+  EXPECT_THROW(serve::read_request(bad_param, req), ParseError);
+
+  std::istringstream truncated_resp("ok 100 outcome=hit build_ns=0\nshort");
+  serve::Response resp;
+  EXPECT_THROW(serve::read_response(truncated_resp, resp), ParseError);
+}
+
+TEST(ServeHandle, DescribeAttributesColdHitSymbolic) {
+  PlanCache cache(16, 2);
+  const serve::Request req = make_req("describe", {{"N", 100}}, kTriCFor);
+
+  const serve::Response cold = serve::handle_request(cache, req);
+  ASSERT_TRUE(cold.ok) << cold.payload;
+  EXPECT_EQ(cold.outcome, "cold");
+  EXPECT_GT(cold.build_ns, 0);
+  EXPECT_NE(cold.payload.find("lowered solver"), std::string::npos) << cold.payload;
+
+  const serve::Response hit = serve::handle_request(cache, req);
+  EXPECT_EQ(hit.outcome, "hit");
+  // describe() ends with the LIVE cache-stats line; everything above it
+  // comes from the shared immutable plan and must match exactly.
+  const auto sans_stats = [](const std::string& s) {
+    return s.substr(0, s.find("plan cache:"));
+  };
+  EXPECT_EQ(sans_stats(hit.payload), sans_stats(cold.payload));
+
+  const serve::Response sym =
+      serve::handle_request(cache, make_req("describe", {{"N", 101}}, kTriCFor));
+  EXPECT_EQ(sym.outcome, "symbolic");
+}
+
+TEST(ServeHandle, EmitReturnsTheCollapsedFunction) {
+  PlanCache cache(16, 2);
+  const serve::Response resp =
+      serve::handle_request(cache, make_req("emit", {{"N", 50}}, kTriCFor));
+  ASSERT_TRUE(resp.ok) << resp.payload;
+  EXPECT_NE(resp.payload.find("for ("), std::string::npos) << resp.payload;
+  EXPECT_NE(resp.payload.find("/* body */"), std::string::npos) << resp.payload;
+}
+
+TEST(ServeHandle, RunChecksumIsSyntaxAndRepeatInvariant) {
+  PlanCache cache(16, 2);
+  const serve::Response c_run =
+      serve::handle_request(cache, make_req("run", {{"N", 30}}, kTriCFor));
+  ASSERT_TRUE(c_run.ok) << c_run.payload;
+  EXPECT_NE(c_run.payload.find("trip 435"), std::string::npos) << c_run.payload;
+
+  // The same domain through the DSL surface syntax: identical tuples,
+  // identical order-insensitive checksum.
+  NestProgram prog = parse_c_for_nest(kTriCFor);
+  const serve::Response dsl_run = serve::handle_request(
+      cache, make_req("run", {{"N", 30}}, render_nest_program(prog)));
+  ASSERT_TRUE(dsl_run.ok) << dsl_run.payload;
+  EXPECT_EQ(dsl_run.payload, c_run.payload);
+
+  // And repeated runs (now cache hits) stay bit-identical.
+  const serve::Response again =
+      serve::handle_request(cache, make_req("run", {{"N", 30}}, kTriCFor));
+  EXPECT_EQ(again.outcome, "hit");
+  EXPECT_EQ(again.payload, c_run.payload);
+}
+
+TEST(ServeHandle, RunRefusesDomainsOverTheServingLimit) {
+  PlanCache cache(16, 2);
+  serve::ServeLimits limits;
+  limits.max_run_trip = 100;
+  const serve::Response resp =
+      serve::handle_request(cache, make_req("run", {{"N", 100}}, kTriCFor), limits);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.payload.find("serving limit"), std::string::npos) << resp.payload;
+  // describe on the same domain is still fine — the limit gates run only.
+  EXPECT_TRUE(
+      serve::handle_request(cache, make_req("describe", {{"N", 100}}, kTriCFor), limits).ok);
+}
+
+TEST(ServeHandle, ErrorsBecomeErrResponsesNotExceptions) {
+  PlanCache cache(16, 2);
+  const serve::Response unknown = serve::handle_request(cache, make_req("frobnicate", {}));
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.payload.find("unknown verb"), std::string::npos);
+
+  // A nest that parses but fails to bind (missing parameter) errs too.
+  const serve::Response unbound = serve::handle_request(cache, make_req("describe", {}, kTriCFor));
+  EXPECT_FALSE(unbound.ok);
+
+  const serve::Response stats = serve::handle_request(cache, make_req("stats", {}));
+  ASSERT_TRUE(stats.ok);
+  EXPECT_NE(stats.payload.find("plan cache:"), std::string::npos);
+}
+
+TEST(ServeSerialization, RoundTripIsByteIdenticalOnEveryKernelNest) {
+  for (const auto& sc : testutil::closed_form_shapes()) {
+    const ParamMap p = testutil::uniform_params(sc.nest, 7);
+    if (!has_no_empty_ranges(sc.nest, p)) continue;  // outside the model
+    const auto cold = CollapsePlan::build(sc.nest, p);
+    const std::string record = cold->serialize();
+
+    const auto back = CollapsePlan::deserialize(record);
+    // serialize() is stable: re-serializing the rebuilt plan reproduces
+    // the record byte for byte.
+    EXPECT_EQ(back->serialize(), record) << sc.name;
+    ASSERT_EQ(back->eval().trip_count(), cold->eval().trip_count()) << sc.name;
+
+    // And the rebuilt plan recovers the identical tuple at every pc.
+    i64 a[8], b[8];
+    const size_t d = static_cast<size_t>(cold->eval().depth());
+    for (i64 pc = 1; pc <= cold->eval().trip_count(); ++pc) {
+      cold->eval().recover(pc, {a, d});
+      back->eval().recover(pc, {b, d});
+      for (size_t k = 0; k < d; ++k)
+        ASSERT_EQ(a[k], b[k]) << sc.name << " pc=" << pc << " level=" << k;
+    }
+  }
+}
+
+TEST(ServeSerialization, CorruptRecordsAreRejected) {
+  const auto plan = CollapsePlan::build(testutil::triangular_strict(), {{"N", 20}});
+  std::string record = plan->serialize();
+
+  // Valid solver names that don't match what the rebuild chooses: the
+  // integrity check fires.
+  std::string tampered = record;
+  const size_t pos = tampered.find("innermost-linear");
+  ASSERT_NE(pos, std::string::npos) << record;
+  tampered.replace(pos, std::string("innermost-linear").size(), "binary-search");
+  EXPECT_THROW(CollapsePlan::deserialize(tampered), SpecError);
+
+  EXPECT_THROW(CollapsePlan::deserialize(std::string("garbage here\n")), ParseError);
+  EXPECT_THROW(CollapsePlan::deserialize(std::string()), ParseError);
+  // A record cut off mid-nest is malformed, not silently accepted.
+  EXPECT_THROW(CollapsePlan::deserialize(record.substr(0, record.size() / 2)), ParseError);
+}
+
+TEST(ServeSerialization, SnapshotWarmStartRoundTripsTheCache) {
+  PlanCache a(16, 2);
+  a.get(testutil::triangular_strict(), {{"N", 50}});
+  a.get(testutil::triangular_strict(), {{"N", 60}});
+  a.get(testutil::tetrahedral_fig6(), {{"N", 9}});
+
+  std::stringstream snap;
+  EXPECT_EQ(a.snapshot(snap), 3u);
+
+  PlanCache b(16, 2);
+  EXPECT_EQ(b.warm_start(snap), 3u);
+  EXPECT_EQ(b.size(), 3u);
+  const PlanCacheStats s = b.stats();
+  EXPECT_EQ(s.misses, 3);
+  // The two triangular domains share one symbolic build on replay.
+  EXPECT_EQ(s.symbolic_hits, 1);
+
+  // The restarted cache serves the replayed domains as full hits.
+  EXPECT_EQ(b.get_with_outcome(testutil::triangular_strict(), {{"N", 50}}).outcome,
+            GetOutcome::Hit);
+  EXPECT_EQ(b.get_with_outcome(testutil::tetrahedral_fig6(), {{"N", 9}}).outcome,
+            GetOutcome::Hit);
+
+  // Warm-starting from a corrupt stream throws rather than half-loading.
+  std::istringstream bad("nrcplan 99\n");
+  PlanCache c(16, 2);
+  EXPECT_THROW(c.warm_start(bad), ParseError);
+}
+
+}  // namespace
+}  // namespace nrc
