@@ -40,7 +40,16 @@
 // quartic nests' block64 workload, or when a plan-cache hit is not at
 // least 10x cheaper than a cold collapse+bind (the pipeline's
 // analyze-once contract: repeated domains must skip symbolic build and
-// bind entirely).
+// bind entirely), or when the measured cost model picks a schedule more
+// than 2x slower than the measured-best candidate on a gated nest (the
+// selection-accuracy floor).
+//
+// The measured rows double as cost-model calibration:
+// --cost-table=PATH (or NRC_COST_TABLE_OUT) persists them as an
+// nrc-cost-table v1 file that Schedule::auto_select loads through
+// NRC_COST_TABLE; the selection-accuracy section below installs the
+// same table in-process and reports, per nest, the schedule the model
+// picks next to the measured-best candidate.
 
 #include <omp.h>
 
@@ -156,6 +165,7 @@ int main(int argc, char** argv) {
     bool gate = false, gate_simd = false, gate_quartic = false;
   };
   std::vector<Row> rows;
+  std::vector<CollapsedEval> evals;  // row-parallel, for the selection report
 
   for (const BenchNest& bn : bench_nests()) {
     const Collapsed col = collapse(bn.nest);
@@ -293,6 +303,84 @@ int main(int argc, char** argv) {
     });
     g_sink = g_sink + sink;
     rows.push_back(row);
+    evals.push_back(cn);
+  }
+
+  // ----------------------------------------------- cost-model calibration
+  // The measured engine/block/lane columns ARE the cost table: one
+  // entry per (solver profile, depth) class, stamped with this run's
+  // runtime ABI.
+  CostModel table;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    CostEntry e;
+    e.profile = classify_solver_profile(evals[i]);
+    e.depth = rows[i].depth;
+    e.lanes = simd::kGroupLanes;
+    e.engine_ns = rows[i].engine;
+    e.block_ns = rows[i].block;
+    e.simd4_ns = rows[i].simd;
+    e.simd8_ns = rows[i].simd8;
+    table.add(e);
+  }
+  if (!args.cost_table.empty()) {
+    if (table.save_file(args.cost_table)) {
+      std::printf("wrote cost table %s (%zu entries, abi %s)\n",
+                  args.cost_table.c_str(), table.size(), table.abi().c_str());
+    } else {
+      std::fprintf(stderr, "FAIL: cannot write cost table %s\n",
+                   args.cost_table.c_str());
+      return 1;
+    }
+  }
+
+  // --------------------------------------------- selection accuracy
+  // Install the freshly calibrated table and, per nest, measure every
+  // candidate schedule end to end; the model's pick must land within
+  // the enforced 2x of the measured best on the gated nests.
+  struct SelRow {
+    std::string chosen, best;
+    bool from_cost_model = false;
+    double predicted = 0;  ///< model's ns/iter for the pick (0: heuristic)
+    double measured = 0;   ///< measured ns/iter of the pick
+    double best_ns = 0;    ///< measured ns/iter of the best candidate
+    double ratio = 0;      ///< measured / best
+  };
+  std::vector<SelRow> sels;
+  CostModel::set_global(table);
+  {
+    AutoSelectHints hints;
+    hints.threads = args.threads;
+    hints.block_body = true;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const CollapsedEval& cn = evals[i];
+      const i64 total = cn.trip_count();
+      auto measure = [&](const Schedule& s) {
+        return time_ns_per(total, trials, [&] {
+          thread_local i64 slot = 0;
+          run(cn, s, [](std::span<const i64> idx) { slot += idx[0]; });
+          g_sink = g_sink + slot;
+        });
+      };
+      const Schedule::Choice ch = Schedule::auto_select_with_cost(cn, hints);
+      SelRow sr;
+      sr.chosen = ch.schedule.describe();
+      sr.from_cost_model = ch.from_cost_model;
+      sr.predicted = ch.from_cost_model ? ch.est_ns_per_iter : 0.0;
+      sr.measured = measure(ch.schedule);
+      const CostEntry* e = table.lookup(classify_solver_profile(cn), cn.depth());
+      sr.best_ns = sr.measured;
+      sr.best = sr.chosen;
+      for (const Schedule& cand :
+           CostModel::candidate_schedules(e, total, hints, args.threads)) {
+        const double ns = measure(cand);
+        if (ns < sr.best_ns) {
+          sr.best_ns = ns;
+          sr.best = cand.describe();
+        }
+      }
+      sr.ratio = sr.best_ns > 0 ? sr.measured / sr.best_ns : 1.0;
+      sels.push_back(sr);
+    }
   }
 
   // Gate on the *runtime* leg, not the compile-time macro: a binary
@@ -362,6 +450,33 @@ int main(int argc, char** argv) {
       "hit on the same key; bindspdup = bind-cold / bind-hit, enforced >= 10x on\n"
       "every nest.\n");
 
+  std::printf(
+      "\n== selection accuracy: auto_select vs measured-best candidate "
+      "(threads=%d) ==\n\n",
+      args.threads);
+  std::printf("%-13s %-44s %9s %9s | %-44s %9s | %7s\n", "nest", "chosen schedule",
+              "pred[ns]", "meas[ns]", "measured best", "best[ns]", "ratio");
+  bench::rule(150);
+  bool sel_ok = true;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SelRow& sr = sels[i];
+    std::printf("%-13s %-44s %9.3f %9.3f | %-44s %9.3f | %6.2fx%s\n",
+                rows[i].name.c_str(), sr.chosen.c_str(), sr.predicted, sr.measured,
+                sr.best.c_str(), sr.best_ns, sr.ratio,
+                sr.from_cost_model ? "" : "  (guard/heuristic)");
+    // Enforced floor: on the gated nests a cost-model pick must not be
+    // more than 2x slower than the measured-best candidate.  Guard
+    // picks (tiny domain / one thread) never consulted the table, so
+    // they are reported but not gated.
+    if (rows[i].gate && sr.from_cost_model && sr.ratio > 2.0) sel_ok = false;
+  }
+  bench::rule(150);
+  std::printf(
+      "chosen = Schedule::auto_select_with_cost under the calibrated table above\n"
+      "(pred = its ns/iter estimate; guard-picked schedules carry no estimate);\n"
+      "measured best = cheapest end-to-end candidate; ratio = chosen / best,\n"
+      "enforced <= 2x on the gated nests when the pick came from the table.\n");
+
   const std::string out_path = args.out.empty() ? "BENCH_recovery.json" : args.out;
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f,
@@ -384,7 +499,11 @@ int main(int argc, char** argv) {
                    "\"speedup_simd64_vs_block64\": %.3f, "
                    "\"speedup_simd512_vs_block64\": %.3f, "
                    "\"speedup_ferrari_vs_bytecode\": %.3f, "
-                   "\"speedup_bind_cached_vs_cold\": %.2f}%s\n",
+                   "\"speedup_bind_cached_vs_cold\": %.2f, "
+                   "\"selection\": {\"chosen\": \"%s\", "
+                   "\"from_cost_model\": %s, \"predicted_ns_per_iter\": %.3f, "
+                   "\"measured_ns_per_iter\": %.3f, \"best\": \"%s\", "
+                   "\"best_ns_per_iter\": %.3f, \"ratio_vs_best\": %.3f}}%s\n",
                    r.name.c_str(), r.depth, static_cast<long long>(r.trip),
                    simd::kGroupLanes,
                    r.gate ? "true" : "false", r.gate_simd ? "true" : "false",
@@ -394,6 +513,9 @@ int main(int argc, char** argv) {
                    r.block / r.simd, r.block / r.simd8,
                    r.qblock > 0 ? r.qblock / r.block : 0.0,
                    r.bind_cached > 0 ? r.bind_cold / r.bind_cached : 0.0,
+                   sels[i].chosen.c_str(), sels[i].from_cost_model ? "true" : "false",
+                   sels[i].predicted, sels[i].measured, sels[i].best.c_str(),
+                   sels[i].best_ns, sels[i].ratio,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -430,6 +552,12 @@ int main(int argc, char** argv) {
     std::printf(
         "FAIL: plan-cache hit below the enforced 10x floor over a cold "
         "collapse+bind\n");
+    rc = 1;
+  }
+  if (!sel_ok) {
+    std::printf(
+        "FAIL: cost model picked a schedule more than 2x slower than the "
+        "measured-best candidate on a gated nest\n");
     rc = 1;
   }
   return rc;

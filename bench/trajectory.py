@@ -33,6 +33,8 @@ SIMD512_FLOOR = 2.0     # enforced simd512-vs-block64 floor (avx512 runtime
                         # abi only: 8 lanes per solve + masked fills)
 QUARTIC_FLOOR = 2.5     # enforced ferrari-vs-bytecode floor (quartic nests)
 BIND_FLOOR = 10.0       # enforced plan-cache-hit vs cold collapse+bind floor
+SELECT_CEIL = 2.0       # enforced auto_select-vs-measured-best ratio ceiling
+                        # (cost-model picks on gated nests only)
 
 
 def load_json(path, default):
@@ -94,6 +96,14 @@ def main():
             "gate_simd": bool(nest.get("gate_simd", False)),
             "gate_quartic": bool(nest.get("gate_quartic", False)),
         }
+        sel = nest.get("selection")
+        if sel:
+            entry["nests"][nest["name"]]["selection"] = {
+                "chosen": sel.get("chosen"),
+                "from_cost_model": bool(sel.get("from_cost_model", False)),
+                "ratio_vs_best": sel.get("ratio_vs_best"),
+                "best": sel.get("best"),
+            }
 
     fig9 = load_json(args.current_fig9, None) if args.current_fig9 else None
     if fig9 and "kernels" in fig9:
@@ -150,13 +160,16 @@ def main():
         f"simd512 ≥{SIMD512_FLOOR}x vs block64 on avx512 runs, "
         f"ferrari ≥{QUARTIC_FLOOR}x vs the PR 2 bytecode path on quartic "
         f"nests, plan-cache bind hit ≥{BIND_FLOOR:.0f}x vs a cold "
-        "collapse+bind on every nest; enforced by bench_recovery_ns).",
+        "collapse+bind on every nest, and auto_select cost-model picks "
+        f"≤{SELECT_CEIL:.0f}x the measured-best candidate on gated nests; "
+        "enforced by bench_recovery_ns).",
         "",
         "| run | sha | abi | "
-        + " | ".join(f"{n} eng | {n} simd4 | {n} simd8 | {n} q4 | {n} bind"
+        + " | ".join(f"{n} eng | {n} simd4 | {n} simd8 | {n} q4 | {n} bind "
+                     f"| {n} sel"
                      for n in nest_names)
         + " |",
-        "|" + "---|" * (3 + 5 * len(nest_names)),
+        "|" + "---|" * (3 + 6 * len(nest_names)),
     ]
     for r in runs[-MD_ROWS:]:
         cells = [str(r.get("run", "?")), str(r.get("sha", "?")),
@@ -180,6 +193,19 @@ def main():
                              QUARTIC_FLOOR if d.get("gate_quartic") else None))
             b = d.get("speedup_bind")
             cells.append(fmt(b if b else None, BIND_FLOOR if b else None))
+            # Selection accuracy: chosen-vs-best ratio.  A ceiling, not a
+            # floor — mark ✓ when the cost-model pick stays ≤ SELECT_CEIL
+            # on a gated nest; guard/heuristic picks render unmarked.
+            sel = d.get("selection")
+            if sel is None or sel.get("ratio_vs_best") is None:
+                cells.append("—")
+            else:
+                ratio = sel["ratio_vs_best"]
+                if d.get("gate") and sel.get("from_cost_model"):
+                    cells.append(f"{ratio:.2f}x"
+                                 + (" ✓" if ratio <= SELECT_CEIL else " ✗"))
+                else:
+                    cells.append(f"{ratio:.2f}x")
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
     latest = runs[-1]["nests"]
@@ -192,6 +218,18 @@ def main():
         )
         + "."
     )
+    if any("selection" in d for d in latest.values()):
+        lines.append("")
+        lines.append(
+            "Latest auto_select picks (chosen vs measured-best candidate): "
+            + "; ".join(
+                f"{n}: {d['selection'].get('chosen')} at "
+                f"{d['selection'].get('ratio_vs_best')}x of best "
+                f"({d['selection'].get('best')})"
+                for n, d in latest.items() if "selection" in d
+            )
+            + "."
+        )
 
     # Table 2: end-to-end kernel gains (fig9), when any run recorded them.
     kernel_names = []

@@ -51,9 +51,43 @@ std::string array_cast(const ArrayDecl& a) {
 
 /// Product of all dimensions as a C expression (element count).
 std::string array_elems(const ArrayDecl& a) {
-  std::string s = "(long)(" + a.dims[0] + ")";
-  for (size_t d = 1; d < a.dims.size(); ++d) s += "*(long)(" + a.dims[d] + ")";
+  std::string s = "(long long)(" + a.dims[0] + ")";
+  for (size_t d = 1; d < a.dims.size(); ++d) s += "*(long long)(" + a.dims[d] + ")";
   return s;
+}
+
+/// The integer type of every emitted parameter, loop variable and
+/// recovered index.  `long long` (not `long`): the library computes in
+/// i64, and on LLP64 targets `long` is 32 bits — recovered estimates
+/// and trip counts past 2^31 silently truncated.
+constexpr const char* kIntT = "long long";
+
+/// Widened integer arithmetic for the emitted guard walks, level
+/// coefficients and ranking evaluations: S-shifted (astronomical-
+/// parameter) nests overflow 64 bits in the intermediate products
+/// (S^4 at depth 4), so every integer_arith polynomial evaluates in
+/// nrc_wide — __int128 where the compiler has it, with a demoted
+/// long long fallback elsewhere (pre-overflow behaviour, explicitly
+/// visible in the generated source).
+const char* wide_typedef_c() {
+  return
+      "#ifndef NRC_WIDE_C\n"
+      "#define NRC_WIDE_C\n"
+      "/* Exact wide arithmetic for guard walks and level coefficients:\n"
+      " * parameter-shifted nests overflow 64-bit intermediates. */\n"
+      "#if defined(__SIZEOF_INT128__)\n"
+      "typedef __int128 nrc_wide;\n"
+      "#else\n"
+      "typedef long long nrc_wide; /* demotion: no 128-bit type here */\n"
+      "#endif\n"
+      "#endif /* NRC_WIDE_C */\n";
+}
+
+/// CPrintOptions for integer_arith polynomials: evaluate in nrc_wide.
+CPrintOptions wide_int_opts() {
+  CPrintOptions opt;
+  opt.int_var_cast = "(nrc_wide)";
+  return opt;
 }
 
 std::string signature(const NestProgram& prog, const std::string& suffix) {
@@ -61,7 +95,7 @@ std::string signature(const NestProgram& prog, const std::string& suffix) {
   bool first = true;
   for (const auto& p : prog.nest.params()) {
     if (!first) s += ", ";
-    s += "long " + p;
+    s += std::string(kIntT) + " " + p;
     first = false;
   }
   for (const auto& a : prog.arrays) {
@@ -80,8 +114,8 @@ void emit_inner_loops_and_body(CodeWriter& w, const NestProgram& prog) {
   int opened = 0;
   for (int k = c; k < prog.nest.depth(); ++k) {
     const Loop& l = prog.nest.at(k);
-    w.open("for (long " + l.var + " = " + l.lower.str() + "; " + l.var + " < " +
-           l.upper.str() + "; " + l.var + "++)");
+    w.open("for (" + std::string(kIntT) + " " + l.var + " = " + l.lower.str() + "; " +
+           l.var + " < " + l.upper.str() + "; " + l.var + "++)");
     ++opened;
   }
   std::istringstream body(prog.body);
@@ -132,9 +166,10 @@ void emit_recovery(CodeWriter& w, const NestProgram& prog, const Collapsed& col)
       ++w.depth;
       for (size_t e = 0; e < lf.coeffs.size(); ++e)
         w.line("const double __nrc_A" + std::to_string(e) + " = (double)" +
-               print_poly_c(lf.coeffs[e] * Rational(den), {}, /*integer_arith=*/true) +
+               print_poly_c(lf.coeffs[e] * Rational(den), wide_int_opts(),
+                            /*integer_arith=*/true) +
                ";");
-      w.line("long __nrc_est;");
+      w.line(std::string(kIntT) + " __nrc_est;");
       std::string call = lf.degree == 3 ? "nrc_cubic_est(" : "nrc_ferrari_est(";
       for (size_t e = 0; e < lf.coeffs.size(); ++e)
         call += "__nrc_A" + std::to_string(e) + ", ";
@@ -148,29 +183,33 @@ void emit_recovery(CodeWriter& w, const NestProgram& prog, const Collapsed& col)
       w.line("}");
     } else {
       const std::string e = print_c(lf.root, {});
-      w.line(var + " = (long)floor(" + e + ");");
+      w.line(var + " = (" + std::string(kIntT) + ")floor(" + e + ");");
     }
     // Exact guard: clamp into the level's range, then correct against
-    // the integer-valued ranking polynomial (monotone in this index).
+    // the integer-valued ranking polynomial (monotone in this index),
+    // evaluated in nrc_wide — the plain-long form overflowed on
+    // S-shifted nests.
     const Polynomial& Rk = col.ranking().prefix_rank[static_cast<size_t>(k)];
     const Polynomial Rk_next =
         Rk.substitute(var, Polynomial::variable(var) + Polynomial(1));
     w.line("if (" + var + " < " + lb + ") " + var + " = " + lb + ";");
     w.line("if (" + var + " > " + ub + " - 1) " + var + " = " + ub + " - 1;");
-    w.line("while (" + var + " > " + lb + " && " + print_poly_c(Rk, {}, true) +
-           " > pc) " + var + " -= 1;");
+    w.line("while (" + var + " > " + lb + " && " +
+           print_poly_c(Rk, wide_int_opts(), true) + " > pc) " + var + " -= 1;");
     w.line("while (" + var + " < " + ub + " - 1 && " +
-           print_poly_c(Rk_next, {}, true) + " <= pc) " + var + " += 1;");
+           print_poly_c(Rk_next, wide_int_opts(), true) + " <= pc) " + var + " += 1;");
   }
-  // Innermost collapsed index: linear, pure integer arithmetic:
+  // Innermost collapsed index: linear, integer arithmetic (wide for the
+  // rank-at-lower-bound evaluation; the index itself fits 64 bits):
   //   i_last = lb + (pc - r(prefix, lb)).
   const int kl = c - 1;
   const Loop& last = sub.at(kl);
   const Polynomial r_at_lb =
       col.ranking().prefix_rank[static_cast<size_t>(kl)].substitute(last.var,
                                                                     last.lower.to_poly());
-  w.line(last.var + " = (" + last.lower.str() + ") + (pc - " +
-         print_poly_c(r_at_lb, {}, /*integer_arith=*/true) + ");");
+  w.line(last.var + " = (" + std::string(kIntT) + ")((" + last.lower.str() +
+         ") + (pc - " + print_poly_c(r_at_lb, wide_int_opts(), /*integer_arith=*/true) +
+         "));");
   (void)prog;
 }
 
@@ -227,11 +266,16 @@ RecoveryStyle emission_style(const Schedule& s) {
       return s.chunk > 0 ? RecoveryStyle::Chunked : RecoveryStyle::PerThread;
     case Scheme::SimdBlocks:
     case Scheme::SimdBlocksChunked:
+    case Scheme::TiledTwoLevel:  // inner per-tile walk is the simd-block
+                                 // shape; the outer tiling is a schedule
+                                 // clause concern, not a recovery style
       return RecoveryStyle::SimdBlocks;
     case Scheme::PerThread:
     case Scheme::Taskloop:
     case Scheme::RowSegments:
     case Scheme::SerialSim:
+    case Scheme::DivideAndConquer:  // leaves are contiguous ranges with
+                                    // one recovery each: PerThread shape
       return RecoveryStyle::PerThread;
   }
   return RecoveryStyle::PerThread;
@@ -259,8 +303,8 @@ std::string emit_original_function(const NestProgram& prog) {
   int opened = 1;
   for (int k = 0; k < prog.effective_collapse_depth(); ++k) {
     const Loop& l = prog.nest.at(k);
-    w.open("for (long " + l.var + " = " + l.lower.str() + "; " + l.var + " < " +
-           l.upper.str() + "; " + l.var + "++)");
+    w.open("for (" + std::string(kIntT) + " " + l.var + " = " + l.lower.str() + "; " +
+           l.var + " < " + l.upper.str() + "; " + l.var + "++)");
     ++opened;
   }
   emit_inner_loops_and_body(w, prog);
@@ -274,12 +318,15 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
   // Degree >= 3 recoveries call the guarded real-arithmetic solver
   // helpers; emit them with the function (their include guard keeps a
   // translation unit holding several collapsed functions well-formed).
+  w.out += wide_typedef_c();
   if (needs_real_solvers(col)) w.out += real_solver_helpers_c();
   w.open(signature(prog, "collapsed"));
-  w.line("const long __nrc_total = " +
-         print_poly_c(col.ranking().total, {}, /*integer_arith=*/true) + ";");
+  w.line("const " + std::string(kIntT) + " __nrc_total = (" + std::string(kIntT) +
+         ")" + print_poly_c(col.ranking().total, wide_int_opts(),
+                            /*integer_arith=*/true) +
+         ";");
   {
-    std::string decl = "long ";
+    std::string decl = std::string(kIntT) + " ";
     decl += private_clause(col);
     w.line(decl + ";");
   }
@@ -290,7 +337,7 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
       if (opt.parallel)
         w.line("#pragma omp parallel for private(" + private_clause(col) + ") schedule(" +
                omp_sched + ")");
-      w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
+      w.open("for (" + std::string(kIntT) + " pc = 1; pc <= __nrc_total; pc++)");
       emit_recovery(w, prog, col);
       emit_inner_loops_and_body(w, prog);
       w.close();
@@ -301,7 +348,7 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
       if (opt.parallel)
         w.line("#pragma omp parallel for firstprivate(__nrc_first) private(" +
                private_clause(col) + ") schedule(" + omp_sched + ")");
-      w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
+      w.open("for (" + std::string(kIntT) + " pc = 1; pc <= __nrc_total; pc++)");
       w.open("if (__nrc_first)");
       emit_recovery(w, prog, col);
       w.line("__nrc_first = 0;");
@@ -315,7 +362,7 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
       if (opt.parallel)
         w.line("#pragma omp parallel for private(" + private_clause(col) + ") schedule(" +
                omp_sched + ")");
-      w.open("for (long pc = 1; pc <= __nrc_total; pc++)");
+      w.open("for (" + std::string(kIntT) + " pc = 1; pc <= __nrc_total; pc++)");
       w.open("if ((pc - 1) % " + std::to_string(opt.schedule.chunk) + " == 0)");
       emit_recovery(w, prog, col);
       w.close();
@@ -334,23 +381,24 @@ std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& co
       if (opt.parallel)
         w.line("#pragma omp parallel for firstprivate(__nrc_first) private(" +
                private_clause(col) + ") schedule(" + omp_sched + ")");
-      w.open("for (long pc = 1; pc <= __nrc_total; pc += " + vlen + ")");
+      w.open("for (" + std::string(kIntT) + " pc = 1; pc <= __nrc_total; pc += " + vlen + ")");
       w.open("if (__nrc_first)");
       emit_recovery(w, prog, col);
       w.line("__nrc_first = 0;");
       w.close();
-      for (const auto& v : sub.loop_vars()) w.line("long __nrc_T_" + v + "[" + vlen + "];");
-      w.line("const long __nrc_blk = (__nrc_total - pc + 1) < " + vlen +
-             " ? (__nrc_total - pc + 1) : " + vlen + ";");
-      w.open("for (long __v = 0; __v < __nrc_blk; __v++)");
+      for (const auto& v : sub.loop_vars())
+        w.line(std::string(kIntT) + " __nrc_T_" + v + "[" + vlen + "];");
+      w.line("const " + std::string(kIntT) + " __nrc_blk = (__nrc_total - pc + 1) < " +
+             vlen + " ? (__nrc_total - pc + 1) : " + vlen + ";");
+      w.open("for (" + std::string(kIntT) + " __v = 0; __v < __nrc_blk; __v++)");
       for (const auto& v : sub.loop_vars()) w.line("__nrc_T_" + v + "[__v] = " + v + ";");
       emit_increment(w, col);
       w.close();
       w.line("#pragma omp simd");
-      w.open("for (long __v = 0; __v < __nrc_blk; __v++)");
+      w.open("for (" + std::string(kIntT) + " __v = 0; __v < __nrc_blk; __v++)");
       // Shadow the odometer state with the lane's tuple.
       for (const auto& v : sub.loop_vars())
-        w.line("long " + v + " = __nrc_T_" + v + "[__v];");
+        w.line(std::string(kIntT) + " " + v + " = __nrc_T_" + v + "[__v];");
       emit_inner_loops_and_body(w, prog);
       w.close();
       w.close();
@@ -379,10 +427,10 @@ std::string emit_verification_program(const NestProgram& prog, const Collapsed& 
   w.out += emit_collapsed_function(prog, col, opt);
   w.line("");
 
-  w.open("static double *nrc_alloc_init(long n, unsigned seed)");
+  w.open("static double *nrc_alloc_init(long long n, unsigned seed)");
   w.line("double *p = (double *)malloc(sizeof(double) * (size_t)n);");
   w.line("unsigned s = seed;");
-  w.open("for (long q = 0; q < n; q++)");
+  w.open("for (long long q = 0; q < n; q++)");
   w.line("s = s * 1664525u + 1013904223u;");
   w.line("p[q] = (double)(s % 1000u) / 1000.0;");
   w.close();
@@ -394,8 +442,8 @@ std::string emit_verification_program(const NestProgram& prog, const Collapsed& 
   {
     int argi = 1;
     for (const auto& p : prog.nest.params()) {
-      w.line("long " + p + " = 32;");
-      w.line("if (argc > " + std::to_string(argi) + ") " + p + " = atol(argv[" +
+      w.line("long long " + p + " = 32;");
+      w.line("if (argc > " + std::to_string(argi) + ") " + p + " = atoll(argv[" +
              std::to_string(argi) + "]);");
       ++argi;
     }
@@ -428,15 +476,15 @@ std::string emit_verification_program(const NestProgram& prog, const Collapsed& 
   w.line(call("original", "ref"));
   w.line(call("collapsed", "col"));
 
-  w.line("long bad = 0;");
+  w.line("long long bad = 0;");
   for (const auto& a : prog.arrays) {
-    w.open("for (long q = 0; q < " + array_elems(a) + "; q++)");
+    w.open("for (long long q = 0; q < " + array_elems(a) + "; q++)");
     w.line("double d = fabs(" + a.name + "_ref[q] - " + a.name + "_col[q]);");
     w.line("if (d > 1e-9 * (fabs(" + a.name + "_ref[q]) + 1.0)) bad++;");
     w.close();
   }
   w.open("if (bad)");
-  w.line("printf(\"MISMATCH: %ld elements differ\\n\", bad);");
+  w.line("printf(\"MISMATCH: %lld elements differ\\n\", bad);");
   w.line("return 1;");
   w.close();
   w.line("printf(\"OK\\n\");");

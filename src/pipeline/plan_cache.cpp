@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <future>
 #include <list>
@@ -33,7 +34,20 @@ std::string CollapsePlan::describe() const {
   s += "bound parameters:";
   for (const auto& [name, v] : eval_.params()) s += " " + name + "=" + std::to_string(v);
   s += " (trip count " + std::to_string(eval_.trip_count()) + ")\n";
-  s += "schedule (auto): " + auto_schedule().describe() + "\n";
+  const Schedule::Choice ch = Schedule::auto_select_with_cost(eval_);
+  s += "schedule (auto): " + ch.schedule.describe() + "\n";
+  // Cost-estimate line: the calibrated table's prediction when one
+  // drove the choice, the explicit fallback note otherwise — always
+  // present, always directly above the cache-stats line (serve clients
+  // key off the line order).
+  if (ch.from_cost_model) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "cost estimate: %.2f ns/iter (cost model, %s)\n",
+                  ch.est_ns_per_iter, ch.profile.c_str());
+    s += buf;
+  } else {
+    s += "cost estimate: heuristic (no cost table)\n";
+  }
   // Plans share ownership and routinely outlive the cache that built
   // them (eviction hands the last reference to the holder), so the
   // origin is tracked weakly: the stats line appears only while the

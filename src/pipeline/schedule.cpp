@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include "core/collapse.hpp"
+#include "pipeline/cost_model.hpp"
 #include "runtime/simd_abi.hpp"
 #include "support/error.hpp"
 
@@ -30,6 +31,10 @@ const char* scheme_name(Scheme s) {
       return "warp_sim";
     case Scheme::SerialSim:
       return "serial_sim";
+    case Scheme::DivideAndConquer:
+      return "divide_and_conquer";
+    case Scheme::TiledTwoLevel:
+      return "tiled_two_level";
   }
   return "?";
 }
@@ -112,10 +117,28 @@ Schedule Schedule::serial_sim(int n_chunks) {
   return s;
 }
 
+Schedule Schedule::divide_and_conquer(i64 grain, RunConfig c) {
+  Schedule s;
+  s.scheme = Scheme::DivideAndConquer;
+  s.grain = grain;
+  s.cfg = c;
+  return s;
+}
+
+Schedule Schedule::tiled_two_level(i64 tile, int vlen, RunConfig c) {
+  Schedule s;
+  s.scheme = Scheme::TiledTwoLevel;
+  s.chunk = tile;
+  s.vlen = vlen;
+  s.cfg = c;
+  return s;
+}
+
 void Schedule::validate() const {
   switch (scheme) {
     case Scheme::SimdBlocks:
     case Scheme::SimdBlocksChunked:
+    case Scheme::TiledTwoLevel:
       if (vlen < 1 || vlen > kMaxSimdLanes)
         throw SpecError(std::string(scheme_name(scheme)) + ": vlen out of range");
       break;
@@ -163,6 +186,14 @@ std::string Schedule::describe() const {
     case Scheme::SerialSim:
       field("n_chunks", std::to_string(serial_chunks));
       break;
+    case Scheme::DivideAndConquer:
+      field("grain", std::to_string(grain));
+      break;
+    case Scheme::TiledTwoLevel:
+      field("tile", std::to_string(chunk));
+      field("vlen", std::to_string(vlen));
+      field("abi", simd::runtime_abi());
+      break;
     default:
       break;
   }
@@ -173,19 +204,38 @@ std::string Schedule::describe() const {
 }
 
 Schedule Schedule::auto_select(const CollapsedEval& cn, const AutoSelectHints& h) {
+  return auto_select_with_cost(cn, h).schedule;
+}
+
+Schedule::Choice Schedule::auto_select_with_cost(const CollapsedEval& cn,
+                                                 const AutoSelectHints& h) {
   const i64 total = cn.trip_count();
   const int nt = h.threads > 0 ? h.threads : omp_get_max_threads();
 
-  Schedule s;
+  Choice ch;
+  Schedule& s = ch.schedule;
   s.cfg.threads = h.threads;
 
+  // Degenerate-domain guards stay ahead of the table: a fork/join can
+  // never pay for itself on a tiny domain, measured or not.
   if (total <= 1 || nt <= 1) {
     s = serial_sim(1);
-    return s;
+    return ch;
   }
   if (total < 4 * static_cast<i64>(nt)) {
     s.scheme = Scheme::PerThread;
-    return s;
+    return ch;
+  }
+
+  // Calibrated cost table first (pipeline/cost_model.hpp); the static
+  // heuristic below is the no-table fallback.
+  if (auto sel = CostModel::global().select(cn, h)) {
+    ch.schedule = sel->schedule;
+    ch.est_ns_per_iter = sel->ns_per_iter;
+    ch.from_cost_model = true;
+    ch.profile = std::string(solver_profile_name(sel->profile)) + "/d" +
+                 std::to_string(cn.depth());
+    return ch;
   }
 
   bool costly_recovery = false;   // a level with no usable formula
@@ -210,7 +260,7 @@ Schedule Schedule::auto_select(const CollapsedEval& cn, const AutoSelectHints& h
     // Recovery dominates: the per-thread schemes pay exactly one per
     // thread, and segment bodies cost nothing extra.
     s.scheme = Scheme::RowSegments;
-    return s;
+    return ch;
   }
 
   const i64 chunk = default_chunk(total, nt);
@@ -224,14 +274,14 @@ Schedule Schedule::auto_select(const CollapsedEval& cn, const AutoSelectHints& h
     s.scheme = Scheme::SimdBlocksChunked;
     s.vlen = h.vlen > 0 ? h.vlen : 2 * simd::kGroupLanes;
     s.chunk = chunk;
-    return s;
+    return ch;
   }
   // Production default (§V chunked, segment bodies): round-robin chunks
   // keep threads co-located, one recovery per chunk amortizes the
   // degree >= 3 solves, and the innermost range reaches the body whole.
   s.scheme = Scheme::RowSegmentsChunked;
   s.chunk = chunk;
-  return s;
+  return ch;
 }
 
 }  // namespace nrc

@@ -21,6 +21,8 @@
 // (depth, trip count, per-level solver kinds) when the caller has no
 // preference.
 
+#include <omp.h>
+
 #include <string>
 
 #include "support/int128.hpp"
@@ -38,9 +40,12 @@ enum class OmpSchedule { Static, Dynamic };
 /// Default chunk size for the §V chunked scheme: small enough that the
 /// round-robin deal keeps all threads co-located in the iteration space
 /// (shared-cache streaming, like dynamic scheduling achieves), large
-/// enough to amortize the per-chunk recovery.
+/// enough to amortize the per-chunk recovery.  threads == 0 means "the
+/// OpenMP default team", so it resolves through omp_get_max_threads()
+/// exactly like the dispatcher does — treating it as one thread made
+/// the chunks ~max_threads× too large under the actual default team.
 inline i64 default_chunk(i64 total, int threads) {
-  const i64 np = threads > 0 ? threads : 1;
+  const i64 np = threads > 0 ? threads : omp_get_max_threads();
   i64 c = total / (np * 32);
   if (c < 1) c = 1;
   if (c > 4096) c = 4096;
@@ -66,6 +71,11 @@ enum class Scheme {
                        ///< 4 per SIMD lane (recover4)
   WarpSim,             ///< §VI-B: W-strided lanes, one recovery per lane
   SerialSim,           ///< Fig. 10 protocol: serial, n_chunks recoveries
+  DivideAndConquer,    ///< recursive binary split of the collapsed range
+                       ///< down to `grain`, leaves as OpenMP tasks
+                       ///< (work stealing; one recovery per leaf)
+  TiledTwoLevel,       ///< outer contiguous tiles for locality (`chunk`
+                       ///< = tile size), inner simd-block walk per tile
 };
 
 const char* scheme_name(Scheme s);
@@ -101,6 +111,12 @@ struct Schedule {
   static Schedule simd_blocks_chunked(int vlen, i64 chunk, RunConfig c = {});
   static Schedule warp_sim(int warp_size, RunConfig c = {});
   static Schedule serial_sim(int n_chunks = 1);
+  /// Composite schemes (cost-model PR): recursive binary splitting to
+  /// `grain` (<= 0 picks default_chunk), and two-level tiling with
+  /// `tile` collapsed iterations per outer tile (<= 0 picks a default)
+  /// walked as lane blocks of `vlen` inside each tile.
+  static Schedule divide_and_conquer(i64 grain = 0, RunConfig c = {});
+  static Schedule tiled_two_level(i64 tile, int vlen, RunConfig c = {});
 
   /// Parameter validation; throws SpecError exactly where the legacy
   /// entry points threw (vlen outside [1, kMaxSimdLanes], warp_size < 1)
@@ -113,8 +129,13 @@ struct Schedule {
   std::string describe() const;
 
   /// Pick a scheme for a bound domain when the caller has no
-  /// preference.  Deterministic heuristic over depth, trip count and
-  /// the per-level solver kinds bind() chose:
+  /// preference.  When the process has a calibrated cost table loaded
+  /// (pipeline/cost_model.hpp: CostModel::global(), fed by the
+  /// NRC_COST_TABLE environment variable or set_global()), the choice
+  /// is a measured-cost minimization over the candidate schedules.
+  /// Without a table — or when the table was calibrated on a different
+  /// runtime SIMD ABI — the deterministic heuristic over depth, trip
+  /// count and the per-level solver kinds bind() chose applies:
   ///   * tiny domains (or one thread) run serially — no fork/join;
   ///   * domains under ~4 iterations per thread use PerThread;
   ///   * a Search/Interpreted level makes recovery costly, so the
@@ -127,6 +148,21 @@ struct Schedule {
   ///     when the caller's body is block-shaped, RowSegmentsChunked
   ///     otherwise.
   static Schedule auto_select(const CollapsedEval& eval, const AutoSelectHints& hints = {});
+
+  struct Choice;
+  /// auto_select plus provenance: the predicted cost when a calibrated
+  /// table drove the choice (CollapsePlan::describe's cost-estimate
+  /// line renders it).
+  static Choice auto_select_with_cost(const CollapsedEval& eval,
+                                      const AutoSelectHints& hints = {});
+};
+
+/// The result of Schedule::auto_select_with_cost.
+struct Schedule::Choice {
+  Schedule schedule;
+  double est_ns_per_iter = -1.0;  ///< < 0: no cost-model estimate
+  bool from_cost_model = false;   ///< table-driven vs heuristic fallback
+  std::string profile;            ///< e.g. "quadratic/d2" when table-driven
 };
 
 }  // namespace nrc

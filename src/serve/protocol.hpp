@@ -13,7 +13,9 @@
 //   .\n                                      lone-dot terminator
 //
 // Verbs:
-//   describe  nest+params -> the plan's describe() report
+//   describe  nest+params -> the plan's describe() report (includes
+//             the auto-selected schedule and its cost-estimate line —
+//             table-driven prediction or the heuristic fallback note)
 //   emit      nest+params -> the collapsed nest as OpenMP C (the
 //             auto-selected schedule drives the emission style)
 //   run       nest+params -> execute through the dispatcher, reply with

@@ -7,14 +7,16 @@
 namespace nrc {
 namespace {
 
-std::string var_ref(const std::string& name, const CPrintOptions& opt, bool cast) {
+std::string var_ref(const std::string& name, const CPrintOptions& opt,
+                    const std::string& cast) {
   auto it = opt.rename.find(name);
   const std::string& id = it == opt.rename.end() ? name : it->second;
-  if (cast && !opt.var_cast.empty()) return opt.var_cast + id;
+  if (!cast.empty()) return cast + id;
   return id;
 }
 
-std::string monomial_c(const Monomial& m, const CPrintOptions& opt, bool cast) {
+std::string monomial_c(const Monomial& m, const CPrintOptions& opt,
+                       const std::string& cast) {
   std::string s;
   for (const auto& [v, e] : m.factors()) {
     for (int k = 0; k < e; ++k) {
@@ -45,7 +47,8 @@ std::string print_poly_c(const Polynomial& p, const CPrintOptions& opt, bool int
       body += num >= 0 ? " + " : " - ";
       if (num < 0) shown = -num;
     }
-    const std::string mono = monomial_c(m, opt, /*cast=*/!integer_arith);
+    const std::string mono =
+        monomial_c(m, opt, integer_arith ? opt.int_var_cast : opt.var_cast);
     if (m.is_constant()) {
       body += std::to_string(shown);
     } else if (shown == 1) {
@@ -161,17 +164,17 @@ std::string real_solver_helpers_c() {
   s += "  return isfinite(root) && root >= " + lim_lo + " && root <= " + lim_hi + ";\n";
   s += "}\n";
   s += "static int nrc_cubic_est(double a0, double a1, double a2, double a3,\n";
-  s += "                         int branch, long *est) {\n";
+  s += "                         int branch, long long *est) {\n";
   s += "  double im;\n";
   s += "  double re;\n";
   s += "  if (a3 == 0.0) return 0;\n";
   s += "  re = nrc_cardano_re(a2 / a3, a1 / a3, a0 / a3, branch, &im);\n";
   s += "  if (!nrc_est_in_range(re)) return 0;\n";
-  s += "  *est = (long)floor(re + " + eps + ");\n";
+  s += "  *est = (long long)floor(re + " + eps + ");\n";
   s += "  return 1;\n";
   s += "}\n";
   s += "static int nrc_ferrari_est(double A0, double A1, double A2, double A3,\n";
-  s += "                           double A4, int branch, long *est) {\n";
+  s += "                           double A4, int branch, long long *est) {\n";
   s += "  if (A4 == 0.0) return 0;\n";
   s += "  {\n";
   s += "    const double b = A3 / A4;\n";
@@ -202,7 +205,7 @@ std::string real_solver_helpers_c() {
   s += "    const double y = ((qb < 2 ? -ar : ar) + ((qb & 1) ? -sr : sr)) / 2.0;\n";
   s += "    const double root = y - b / 4.0;\n";
   s += "    if (!nrc_est_in_range(root)) return 0;\n";
-  s += "    *est = (long)floor(root + " + eps + ");\n";
+  s += "    *est = (long long)floor(root + " + eps + ");\n";
   s += "  }\n";
   s += "  return 1;\n";
   s += "}\n";

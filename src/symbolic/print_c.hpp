@@ -18,6 +18,11 @@ struct CPrintOptions {
   bool complex_mode = false;
   /// Cast inserted before each integer variable occurrence, e.g. "(double)".
   std::string var_cast = "(double)";
+  /// Cast applied to variables in integer_arith polynomials instead of
+  /// var_cast; empty (the default) keeps plain integer arithmetic.  The
+  /// emitter sets "(nrc_wide)" so guard/coefficient evaluation runs in
+  /// __int128 where available (S-shifted nests overflow 64 bits).
+  std::string int_var_cast;
   /// Variable renamings (library name -> C identifier).
   std::map<std::string, std::string> rename;
 };
@@ -29,9 +34,10 @@ std::string print_c(const Expr& e, const CPrintOptions& opt = {});
 /// emitted over the polynomial's common denominator so the expression
 /// stays in integer arithmetic until a final division:
 ///   (2*i*N + 2*j - i*i - 3*i) / 2   -- with casts per CPrintOptions.
-/// When `integer_arith` is true the cast is suppressed and the division
-/// uses C integer division (exact for integer-valued polynomials such as
-/// trip counts).
+/// When `integer_arith` is true the division uses C integer division
+/// (exact for integer-valued polynomials such as trip counts) and each
+/// variable takes `int_var_cast` instead of `var_cast` — empty by
+/// default, i.e. plain integer arithmetic.
 std::string print_poly_c(const Polynomial& p, const CPrintOptions& opt = {},
                          bool integer_arith = false);
 

@@ -40,12 +40,12 @@ body {
 
 TEST(Emitter, OriginalFunctionStructure) {
   const std::string src = emit_original_function(correlation_prog());
-  EXPECT_NE(src.find("static void correlation_original(long N, double (*a)[N], "
+  EXPECT_NE(src.find("static void correlation_original(long long N, double (*a)[N], "
                      "double (*b)[N], double (*c)[N])"),
             std::string::npos)
       << src;
-  EXPECT_NE(src.find("for (long i = 0; i < N - 1; i++)"), std::string::npos);
-  EXPECT_NE(src.find("for (long j = i + 1; j < N; j++)"), std::string::npos);
+  EXPECT_NE(src.find("for (long long i = 0; i < N - 1; i++)"), std::string::npos);
+  EXPECT_NE(src.find("for (long long j = i + 1; j < N; j++)"), std::string::npos);
   EXPECT_NE(src.find("a[j][i] = a[i][j];"), std::string::npos);
 }
 
@@ -56,7 +56,9 @@ TEST(Emitter, CollapsedPerThreadMirrorsFig4) {
   opt.schedule = Schedule::per_thread();
   const std::string src = emit_collapsed_function(prog, col, opt);
   // Trip count (N^2 - N)/2, pure integer arithmetic.
-  EXPECT_NE(src.find("const long __nrc_total = ((N*N - N) / 2);"), std::string::npos)
+  EXPECT_NE(src.find("const long long __nrc_total = "
+                     "(long long)(((nrc_wide)N*(nrc_wide)N - (nrc_wide)N) / 2);"),
+            std::string::npos)
       << src;
   // Fig. 4 structure: firstprivate flag, recovery guarded by it,
   // incrementation at the end of the body.
@@ -65,7 +67,7 @@ TEST(Emitter, CollapsedPerThreadMirrorsFig4) {
             std::string::npos)
       << src;
   EXPECT_NE(src.find("if (__nrc_first)"), std::string::npos);
-  EXPECT_NE(src.find("i = (long)floor("), std::string::npos);
+  EXPECT_NE(src.find("i = (long long)floor("), std::string::npos);
   EXPECT_NE(src.find("sqrt("), std::string::npos);  // degree 2: real sqrt, Fig. 3 style
   EXPECT_EQ(src.find("csqrt("), std::string::npos);
   EXPECT_NE(src.find("j++;"), std::string::npos);
@@ -120,7 +122,7 @@ TEST(Emitter, CubicNestUsesGuardedRealSolvers) {
   // integer guard walk takes over (the demotion-guard equivalent).
   EXPECT_NE(src.find("? __nrc_est : (0);"), std::string::npos) << src;
   // Innermost recovery stays integer.
-  EXPECT_NE(src.find("k = (j) + (pc - "), std::string::npos) << src;
+  EXPECT_NE(src.find("k = (long long)((j) + (pc - "), std::string::npos) << src;
 }
 
 TEST(Emitter, QuarticNestUsesGuardedFerrari) {
@@ -170,7 +172,7 @@ body { x[k] += 1.0; }
 )");
   const Collapsed col = collapse(prog.collapsed_nest());
   const std::string src = emit_collapsed_function(prog, col, {});
-  EXPECT_NE(src.find("for (long k = 0; k < N; k++)"), std::string::npos) << src;
+  EXPECT_NE(src.find("for (long long k = 0; k < N; k++)"), std::string::npos) << src;
   // k is not in the private clause (declared inside the loop).
   EXPECT_NE(src.find("private(i, j)"), std::string::npos);
 }

@@ -278,16 +278,16 @@ TEST_F(IntegrationCompile, EmittedRealSolversByteIdenticalOn12BranchFamilies) {
   src += "  };\n";
   src += "  for (unsigned i = 0; i < sizeof(Q) / sizeof(Q[0]); i++)\n";
   src += "    for (int br = 0; br < 12; br++) {\n";
-  src += "      long est = -777;\n";
+  src += "      long long est = -777;\n";
   src += "      int ok = nrc_ferrari_est(Q[i][0], Q[i][1], Q[i][2], Q[i][3], Q[i][4],\n";
   src += "                               br, &est);\n";
-  src += "      printf(\"%d %ld\\n\", ok, ok ? est : -777);\n";
+  src += "      printf(\"%d %lld\\n\", ok, ok ? est : (long long)-777);\n";
   src += "    }\n";
   src += "  for (unsigned i = 0; i < sizeof(C) / sizeof(C[0]); i++)\n";
   src += "    for (int br = 0; br < 3; br++) {\n";
-  src += "      long est = -777;\n";
+  src += "      long long est = -777;\n";
   src += "      int ok = nrc_cubic_est(C[i][0], C[i][1], C[i][2], C[i][3], br, &est);\n";
-  src += "      printf(\"%d %ld\\n\", ok, ok ? est : -777);\n";
+  src += "      printf(\"%d %lld\\n\", ok, ok ? est : (long long)-777);\n";
   src += "    }\n";
   src += "  return 0;\n}\n";
 
@@ -324,6 +324,29 @@ body {
 )");
   const Collapsed col = collapse(prog.collapsed_nest());
   EXPECT_EQ(compile_and_run(emit_verification_program(prog, col, {}), "rhombo", "19"), 0);
+}
+
+TEST_F(IntegrationCompile, ShiftedNestPast2To32UsesWideArithmetic) {
+  // S just past 2^33 (not a power of two, so S^2 rounds in double):
+  // every recovered index exceeds 2^32 — silently truncated if the
+  // emitted code declared them `long` on an LLP64 target — and the
+  // guard-walk ranking products reach S^2 ~ 7.4e19, past the i64 range,
+  // exact only through the emitted nrc_wide (__int128) arithmetic.
+  // Regression for the S-shifted emitter overflow bug.
+  const NestProgram prog = parse_nest_program(R"(
+name farshift
+params S
+array double out[4][6]
+loop i = S .. S+4
+loop j = i .. S+6
+body {
+  out[i - S][j - i] += 1.0;
+}
+)");
+  const Collapsed col = collapse(prog.collapsed_nest());
+  EXPECT_EQ(compile_and_run(emit_verification_program(prog, col, {}), "farshift",
+                            "8589934611"),
+            0);
 }
 
 }  // namespace

@@ -32,17 +32,17 @@ TEST(SimdEmit, StructureMirrorsSectionVIA) {
   opt.schedule = Schedule::simd_blocks(8);
   const std::string src = emit_collapsed_function(prog, col, opt);
   // Block stride on the pc loop.
-  EXPECT_NE(src.find("for (long pc = 1; pc <= __nrc_total; pc += 8)"),
+  EXPECT_NE(src.find("for (long long pc = 1; pc <= __nrc_total; pc += 8)"),
             std::string::npos)
       << src;
   // Precomputed tuple arrays + incrementation.
-  EXPECT_NE(src.find("long __nrc_T_i[8];"), std::string::npos);
-  EXPECT_NE(src.find("long __nrc_T_j[8];"), std::string::npos);
+  EXPECT_NE(src.find("long long __nrc_T_i[8];"), std::string::npos);
+  EXPECT_NE(src.find("long long __nrc_T_j[8];"), std::string::npos);
   EXPECT_NE(src.find("__nrc_T_i[__v] = i;"), std::string::npos);
   EXPECT_NE(src.find("j++;"), std::string::npos);
   // The simd body rebinds the lane's indices.
   EXPECT_NE(src.find("#pragma omp simd"), std::string::npos);
-  EXPECT_NE(src.find("long i = __nrc_T_i[__v];"), std::string::npos);
+  EXPECT_NE(src.find("long long i = __nrc_T_i[__v];"), std::string::npos);
   // One recovery per thread (firstprivate flag).
   EXPECT_NE(src.find("firstprivate(__nrc_first)"), std::string::npos);
 }

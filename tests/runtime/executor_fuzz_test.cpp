@@ -165,6 +165,24 @@ std::vector<SchemeCase> scheme_matrix(i64 total, int nt, bool full) {
                    collapsed_serial_sim(c, sims, v);
                  }});
   }
+  // The two composite schemes have no legacy collapsed_for_* wrapper
+  // (they were born inside the unified dispatcher), so their legacy
+  // runner is empty and check_executors always takes the nrc::run path.
+  for (const i64 grain : {i64{0} /* cost-model default */, i64{1}, i64{4}, total + 3,
+                          kHugeChunk}) {
+    m.push_back({10, "divide_and_conquer g=" + std::to_string(grain),
+                 Schedule::divide_and_conquer(grain, {nt}), nullptr});
+  }
+  // Tile 1 degenerates every tile to one iteration; tile 3 with vlen 8
+  // forces lane groups wider than the tile; total + 2 and the huge tile
+  // collapse the outer level to a single tile.
+  for (const auto& [tile, vlen] :
+       {std::pair<i64, int>{1, 4}, {3, 8}, {7, 3}, {total + 2, 4}, {kHugeChunk, 8}}) {
+    m.push_back({11,
+                 "tiled_two_level t=" + std::to_string(tile) +
+                     " v=" + std::to_string(vlen),
+                 Schedule::tiled_two_level(tile, vlen, {nt}), nullptr});
+  }
   return m;
 }
 
@@ -187,19 +205,19 @@ void check_executors(const CollapsedEval& cn, const std::string& repro, bool ful
 
   const int thread_counts[] = {1, 3, 8};
   const int nt = thread_counts[rotation % 3];
-  const int group = static_cast<int>(rotation % 10);
+  const int group = static_cast<int>(rotation % 12);
   const bool legacy_path = (rotation / 10) % 2 == 1;
 
   for (const SchemeCase& sc : scheme_matrix(total, nt, full)) {
     if (!full && sc.group != group) continue;
-    if (full || !legacy_path) {
+    if (full || !legacy_path || !sc.legacy) {
       EXPECT_TRUE(testutil::run_scheme_differential(
           cn, ref, [&](auto&& visit) { nrc::run(cn, sc.sched, visit); }))
           << repro << "scheme=" << sc.label << " path=nrc::run("
           << sc.sched.describe() << ")";
       ++tally->scheme_runs;
     }
-    if (full || legacy_path) {
+    if (sc.legacy && (full || legacy_path)) {
       EXPECT_TRUE(testutil::run_scheme_differential(
           cn, ref, [&](auto&& visit) { sc.legacy(cn, Visit(visit)); }))
           << repro << "scheme=" << sc.label << " path=legacy";
@@ -337,7 +355,7 @@ std::string checksum_body(const NestSpec& nest) {
 std::string trace_body(const NestSpec& nest) {
   std::string fmt, argl;
   for (const auto& v : nest.loop_vars()) {
-    fmt += fmt.empty() ? "%ld" : " %ld";
+    fmt += fmt.empty() ? "%lld" : " %lld";
     argl += ", " + v;
   }
   return "printf(\"" + fmt + "\\n\"" + argl + ");";
@@ -355,7 +373,7 @@ std::string roundtrip_program(const NestProgram& prog, const Collapsed& col,
   int argi = 1;
   std::string call = prog.name + "_collapsed(";
   for (const auto& p : prog.nest.params()) {
-    s += "  long " + p + " = atol(argv[" + std::to_string(argi++) + "]);\n";
+    s += "  long long " + p + " = atoll(argv[" + std::to_string(argi++) + "]);\n";
     if (call.back() != '(') call += ", ";
     call += p;
   }
@@ -384,12 +402,24 @@ std::string odometer_trace(const CollapsedEval& cn) {
   return s;
 }
 
+/// argv values for the emitted main, one per nest parameter in
+/// declaration order (the order roundtrip_program reads them).
+std::string bind_args(const NestProgram& prog, const ParamMap& pm) {
+  std::string s;
+  for (const auto& p : prog.nest.params()) {
+    if (!s.empty()) s += " ";
+    s += std::to_string(pm.at(p));
+  }
+  return s;
+}
+
 /// Round-trip one closed-form-solvable fuzz nest through every emission
-/// style.  Returns the number of emitted programs (0 when the nest is
-/// skipped: expected-empty, S-shifted — the emitted long arithmetic has
-/// no i128 demotion path — or not fully closed form).
+/// style, S-shifted nests included — the emitted nrc_wide (__int128)
+/// arithmetic keeps the shifted guard walks exact, so they no longer
+/// need a skip here.  Returns the number of emitted programs (0 when
+/// the nest is skipped: expected-empty or not fully closed form).
 int roundtrip_case(const FuzzNest& fc) {
-  if (fc.expect_empty || !fc.fixed_params.empty()) return 0;
+  if (fc.expect_empty) return 0;
   CollapseOptions opts;
   opts.calibration = fc.calibration;
   NestProgram prog;
@@ -429,9 +459,11 @@ int roundtrip_case(const FuzzNest& fc) {
       const std::string bin = compile_program(src, tag + "_" + sc.name);
       if (bin.empty()) return emitted;
       for (const i64 nv : testutil::fuzz_bind_values(fc)) {
-        const CollapsedEval cn = col.bind({{"N", nv}});
+        ParamMap pm = fc.fixed_params;
+        pm["N"] = nv;
+        const CollapsedEval cn = col.bind(pm);
         std::string got;
-        if (!run_capture(bin, std::to_string(nv), &got)) return emitted;
+        if (!run_capture(bin, bind_args(prog, pm), &got)) return emitted;
         EXPECT_EQ(got, odometer_trace(cn))
             << fc.repro() << "codegen trace diverges, style=" << sc.name << " N=" << nv;
         ++emitted;
@@ -453,9 +485,11 @@ int roundtrip_case(const FuzzNest& fc) {
       const std::string bin = compile_program(src, tag + "_" + sc.name);
       if (bin.empty()) return emitted;
       for (const i64 nv : testutil::fuzz_bind_values(fc)) {
-        const CollapsedEval cn = col.bind({{"N", nv}});
+        ParamMap pm = fc.fixed_params;
+        pm["N"] = nv;
+        const CollapsedEval cn = col.bind(pm);
         std::string got;
-        if (!run_capture(bin, std::to_string(nv), &got)) return emitted;
+        if (!run_capture(bin, bind_args(prog, pm), &got)) return emitted;
         const DomainObservation ref = testutil::odometer_reference(cn, /*cap=*/0);
         EXPECT_EQ(got, std::to_string(ref.checksum) + "\n")
             << fc.repro() << "codegen checksum diverges, style=" << sc.name
