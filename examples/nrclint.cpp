@@ -1,0 +1,125 @@
+// nrclint — static analysis front end for collapse plans.
+//
+//   nrclint [FILE] [NAME=VALUE ...]      lint one nest (C-for or DSL text
+//                                        from FILE, or stdin when omitted
+//                                        or "-"), bound at the given
+//                                        parameter values
+//   nrclint --kernels [--scale=S]        lint every registered kernel's
+//                                        collapsed nest at its bound
+//                                        parameters (the CI gate mode)
+//
+// The nest syntax is auto-detected exactly like the nrcd server does
+// (lines starting with "for"/"#pragma" parse as C-for, anything else as
+// the nest DSL).  Output is the NestCertificate lint block — per-check
+// verdicts plus one line per diagnostic, stable codes first:
+//
+//   lint: 1 diagnostic (max warn); certificates: trip-i64 yes, f64-exact no, ...
+//     warn NRC-W002 [level 1]: f64 guard path not certified: ...
+//
+// Exit status is the max severity: 0 clean/info, 1 warn, 2 error.
+// Unreadable input or unparseable nest text also exits 2 (the finding
+// is rendered as an NRC-E001-style line so CI logs stay uniform).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/nest_analyzer.hpp"
+#include "kernels/registry.hpp"
+#include "serve/protocol.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+int severity_exit(const nrc::NestCertificate& cert) {
+  if (cert.diagnostics.empty()) return 0;
+  switch (cert.max_severity()) {
+    case nrc::LintSeverity::Info: return 0;
+    case nrc::LintSeverity::Warn: return 1;
+    case nrc::LintSeverity::Error: return 2;
+  }
+  return 2;
+}
+
+int lint_kernels(double scale) {
+  int worst = 0;
+  for (const std::string& name : nrc::kernel_names()) {
+    const auto kernel = nrc::make_kernel(name);
+    kernel->prepare(scale);
+    const nrc::NestCertificate cert =
+        nrc::analyze_nest(kernel->collapsed_spec(), kernel->bound_params());
+    std::cout << "== " << name << " (" << kernel->info().shape << ", depth "
+              << kernel->info().collapse_depth << ") ==\n"
+              << cert.str();
+    worst = std::max(worst, severity_exit(cert));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool kernels = false;
+  double scale = 0.05;  // kernel nests are scale-independent in structure;
+                        // small default keeps prepare() cheap in CI
+  std::string file;
+  nrc::ParamMap params;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kernels") {
+      kernels = true;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + 8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nrclint [FILE|-] [NAME=VALUE ...]\n"
+                   "       nrclint --kernels [--scale=S]\n";
+      return 0;
+    } else if (arg.find('=') != std::string::npos && arg[0] != '-') {
+      const size_t eq = arg.find('=');
+      try {
+        params[arg.substr(0, eq)] = std::stoll(arg.substr(eq + 1));
+      } catch (const std::exception&) {
+        std::cerr << "error NRC-E001: malformed parameter '" << arg << "'\n";
+        return 2;
+      }
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      std::cerr << "error NRC-E001: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  if (kernels) return lint_kernels(scale);
+
+  std::string text;
+  if (file.empty() || file == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "error NRC-E001: cannot read '" << file << "'\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  nrc::NestSpec nest;
+  try {
+    nest = nrc::serve::parse_nest_text(text).collapsed_nest();
+  } catch (const nrc::Error& e) {
+    std::cerr << "error NRC-E001: nest text rejected: " << e.what() << "\n";
+    return 2;
+  }
+
+  const nrc::NestCertificate cert = nrc::analyze_nest(nest, params);
+  std::cout << cert.str();
+  return severity_exit(cert);
+}

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/nest_analyzer.hpp"
 #include "math/rational.hpp"
 #include "support/error.hpp"
 #include "symbolic/print_c.hpp"
@@ -315,6 +316,28 @@ std::string emit_original_function(const NestProgram& prog) {
 std::string emit_collapsed_function(const NestProgram& prog, const Collapsed& col,
                                     const EmitOptions& opt) {
   CodeWriter w;
+  // Certificate wiring: refuse error-severity plans outright (codegen
+  // must not produce C the analyzer proved can overflow), annotate the
+  // rest so the generated source carries its own audit trail.
+  if (opt.certificate != nullptr) {
+    const NestCertificate& cert = *opt.certificate;
+    if (opt.refuse_on_error && cert.max_severity() == LintSeverity::Error) {
+      std::string msg = "emit: refused by the static analyzer:";
+      for (const Diagnostic& d : cert.diagnostics)
+        if (d.severity == LintSeverity::Error) msg += "\n  " + d.str();
+      throw SpecError(msg);
+    }
+    w.out += "/* nrclint:\n";
+    const std::string block = cert.str();
+    size_t pos = 0;
+    while (pos < block.size()) {
+      size_t nl = block.find('\n', pos);
+      if (nl == std::string::npos) nl = block.size();
+      w.out += " * " + block.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+    w.out += " */\n";
+  }
   // Degree >= 3 recoveries call the guarded real-arithmetic solver
   // helpers; emit them with the function (their include guard keeps a
   // translation unit holding several collapsed functions well-formed).

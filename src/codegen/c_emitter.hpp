@@ -57,6 +57,8 @@ RecoveryStyle emission_style(const Schedule& s);
 /// Schedule, e.g. "static", "dynamic", "static, 512".
 std::string emission_omp_schedule(const Schedule& s);
 
+struct NestCertificate;
+
 struct EmitOptions {
   /// The scheme to emit; the default Schedule is the Fig. 4 per-thread
   /// scheme.  scheme parameters (chunk, vlen, PerIteration's
@@ -65,6 +67,15 @@ struct EmitOptions {
   /// executes for the same descriptor.
   Schedule schedule{};
   bool parallel = true;  ///< emit the OpenMP pragma
+  /// Optional static certificate for the emitted plan
+  /// (analysis/nest_analyzer.hpp).  When set, the emitter refuses
+  /// error-severity certificates (SpecError listing the diagnostics;
+  /// disable with refuse_on_error = false) and annotates the generated
+  /// code with a `/* nrclint: ... */` header rendering the remaining
+  /// diagnostics — so generated C carries its own audit trail instead
+  /// of silently overflowing where the analyzer predicted trouble.
+  const NestCertificate* certificate = nullptr;
+  bool refuse_on_error = true;
 };
 
 /// The original (non-collapsed) nest as a C function.

@@ -305,7 +305,19 @@ CollapsedEval Collapsed::bind_fresh(const ParamMap& params) const {
   }
 
   std::map<std::string, i64> pv(params.begin(), params.end());
-  ev.total_ = narrow_i64(im.rs.total.eval_i128(pv));
+  // Overflow-checked trip count with a structured refusal instead of the
+  // raw narrowing error: adversarial parameter magnitudes must produce a
+  // diagnostic naming the analyzer code (NRC-W001), never signed-overflow
+  // UB or a cryptic conversion message.  eval_i128 is itself checked, so
+  // a domain whose *intermediates* leave i128 surfaces the same way.
+  try {
+    ev.total_ = narrow_i64(im.rs.total.eval_i128(pv));
+  } catch (const OverflowError&) {
+    throw SpecError(
+        "bind: total trip count overflows i64 for these parameters "
+        "[NRC-W001 trip-count-overflow]; shrink the parameter magnitudes "
+        "or collapse fewer levels");
+  }
   if (ev.total_ <= 0)
     throw SpecError("bind: the iteration domain is empty for these parameters");
 

@@ -33,6 +33,8 @@
 
 namespace nrc {
 
+struct NestCertificate;
+
 class CollapsePlan {
  public:
   /// Run the pipeline end to end: collapse(nest, opts) + bind(params).
@@ -57,6 +59,13 @@ class CollapsePlan {
   Schedule auto_schedule(const AutoSelectHints& hints = {}) const {
     return Schedule::auto_select(eval_, hints);
   }
+
+  /// Static certificate for this plan: interval-propagated verdicts
+  /// (trip-count i64 safety, proven-exact f64 recovery, emitted-C
+  /// coefficient range) plus structured diagnostics.  Defined in
+  /// analysis/nest_analyzer.cpp; include analysis/nest_analyzer.hpp for
+  /// the NestCertificate definition.
+  NestCertificate analyze() const;
 
   /// The symbolic report plus the pipeline lines: the bound parameters,
   /// the auto-selected schedule, a cost-estimate line ("cost estimate:

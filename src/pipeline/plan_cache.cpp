@@ -1,5 +1,6 @@
 #include "pipeline/plan_cache.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -8,6 +9,9 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+
+#include "analysis/nest_analyzer.hpp"
+#include "support/error.hpp"
 
 namespace nrc {
 
@@ -48,6 +52,11 @@ std::string CollapsePlan::describe() const {
   } else {
     s += "cost estimate: heuristic (no cost table)\n";
   }
+  // The static certificate: verdict summary plus one line per
+  // diagnostic.  Deterministic for a given plan, so it sits above the
+  // live cache-stats line (serve clients compare everything above
+  // "plan cache:" across hits).
+  s += analyze().str();
   // Plans share ownership and routinely outlive the cache that built
   // them (eviction hands the last reference to the holder), so the
   // origin is tracked weakly: the stats line appears only while the
@@ -128,6 +137,10 @@ struct PlanCacheState {
   std::list<std::pair<std::string, Collapsed>> sym_lru;
   std::unordered_map<std::string, decltype(sym_lru)::iterator> sym_map;
   i64 symbolic_evictions = 0;  // guarded by sym_mu
+
+  /// Certify-before-cache toggle (PlanCache::set_reject_errors); read
+  /// by concurrent builders, hence atomic.
+  std::atomic<bool> reject_errors{false};
 
   /// Test instrumentation (set_build_hook); called outside all locks.
   mutable std::mutex hook_mu;
@@ -278,6 +291,20 @@ GetResult PlanCache::get_with_outcome(const NestSpec& nest, const ParamMap& para
     auto plan = std::shared_ptr<CollapsePlan>(
         new CollapsePlan(std::move(col), std::move(ev), opts));
     plan->origin_ = state_;
+
+    // Certify-before-cache (set_reject_errors): an error-severity
+    // certificate fails the build like any other bind failure — the
+    // refusal propagates to every waiter and nothing stays cached.
+    if (st.reject_errors.load(std::memory_order_relaxed)) {
+      const NestCertificate cert = plan->analyze();
+      if (cert.max_severity() == LintSeverity::Error) {
+        std::string msg = "plan rejected by the static analyzer:";
+        for (const Diagnostic& d : cert.diagnostics)
+          if (d.severity == LintSeverity::Error) msg += "\n  " + d.str();
+        throw SpecError(msg);
+      }
+    }
+
     prom.set_value(plan);
 
     const i64 built = elapsed_ns();
@@ -360,6 +387,14 @@ std::string PlanCache::stats_line() const {
 void PlanCache::set_build_hook(std::function<void(const std::string& key)> hook) {
   std::lock_guard<std::mutex> lock(state_->hook_mu);
   state_->build_hook = std::move(hook);
+}
+
+void PlanCache::set_reject_errors(bool on) {
+  state_->reject_errors.store(on, std::memory_order_relaxed);
+}
+
+bool PlanCache::reject_errors() const {
+  return state_->reject_errors.load(std::memory_order_relaxed);
 }
 
 PlanCache& plan_cache() {

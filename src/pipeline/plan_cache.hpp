@@ -153,6 +153,15 @@ class PlanCache {
   /// "plan cache: 98 hits / 2 misses (1 symbolic hit), 0 evictions, 2 plans".
   std::string stats_line() const;
 
+  /// Certify-before-cache: when on, every built plan is run through the
+  /// static analyzer (analysis/nest_analyzer.hpp) and an error-severity
+  /// certificate fails the build — the SpecError lists the error
+  /// diagnostics, propagates to every concurrent waiter exactly like a
+  /// bind failure, and nothing stays cached.  Off by default (existing
+  /// serving behaviour); warn/info certificates never block.
+  void set_reject_errors(bool on);
+  bool reject_errors() const;
+
   /// Test instrumentation: `hook(key)` runs at the start of every build
   /// this cache performs, outside all locks — it may block (to hold a
   /// build in flight while the test probes the shard) or throw (to

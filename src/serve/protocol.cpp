@@ -3,6 +3,7 @@
 #include <istream>
 #include <sstream>
 
+#include "analysis/nest_analyzer.hpp"
 #include "codegen/c_emitter.hpp"
 #include "codegen/c_for_parser.hpp"
 #include "support/error.hpp"
@@ -60,7 +61,7 @@ u64 tuple_mix(std::span<const i64> idx) {
 }  // namespace
 
 bool verb_has_nest(const std::string& verb) {
-  return verb == "describe" || verb == "emit" || verb == "run";
+  return verb == "describe" || verb == "emit" || verb == "run" || verb == "lint";
 }
 
 bool read_request(std::istream& is, Request& out) {
@@ -178,6 +179,27 @@ Response handle_request(PlanCache& cache, const Request& req, const ServeLimits&
 
     const NestProgram prog = parse_nest_text(req.nest_text);
     const NestSpec nest = prog.collapsed_nest();
+
+    if (req.verb == "lint") {
+      // The lint verb bypasses the cache on purpose: analyze_nest never
+      // throws, so broken nests (empty domains, overflowing trips,
+      // unbound parameters) still get their diagnostics instead of an
+      // err response — and a failing build never cycles a cache entry.
+      NestCertificate cert = analyze_nest(nest, req.params);
+      // Serving limits are analyzer diagnostics here: what run would
+      // refuse, lint reports as NRC-W005 with the same numbers.
+      if (cert.bind_ok && cert.total_trip > limits.max_run_trip) {
+        cert.diagnostics.push_back(Diagnostic{
+            "NRC-W005", LintSeverity::Warn, -1,
+            "run would be refused: domain has " + std::to_string(cert.total_trip) +
+                " iterations, over the serving limit of " +
+                std::to_string(limits.max_run_trip),
+            "describe/emit stay available; shrink the domain to run remotely"});
+      }
+      resp.payload = cert.str();
+      return resp;
+    }
+
     GetResult got = cache.get_with_outcome(nest, req.params);
     resp.outcome = get_outcome_name(got.outcome);
     resp.build_ns = got.build_ns;
@@ -195,7 +217,9 @@ Response handle_request(PlanCache& cache, const Request& req, const ServeLimits&
       if (plan.eval().trip_count() > limits.max_run_trip)
         throw SpecError("run: domain has " + std::to_string(plan.eval().trip_count()) +
                         " iterations, over the serving limit of " +
-                        std::to_string(limits.max_run_trip));
+                        std::to_string(limits.max_run_trip) +
+                        " [NRC-W005 serve-limit; the lint verb reports this "
+                        "without refusing]");
       u64 checksum = 0;
       nrc::run(plan, plan.auto_schedule(), [&](std::span<const i64> idx) {
         const u64 mix = tuple_mix(idx);

@@ -20,6 +20,14 @@
 //             auto-selected schedule drives the emission style)
 //   run       nest+params -> execute through the dispatcher, reply with
 //             an order-insensitive checksum and the trip count
+//   lint      nest+params -> the static analyzer's certificate block
+//             (analysis/nest_analyzer.hpp): per-check verdicts plus
+//             structured diagnostics.  Never an err response for nests
+//             that parse: bind failures, overflowing trips and unbound
+//             parameters come back as NRC-* diagnostics, and what run
+//             would refuse under ServeLimits is reported as NRC-W005.
+//             Bypasses the plan cache (a failing build never cycles an
+//             entry).
 //   stats     (no nest section) -> the cache's stats_line()
 //   quit      (no nest section) -> acknowledged; the server closes the
 //             connection
@@ -67,7 +75,7 @@ struct Response {
 };
 
 /// True for verbs whose request carries a nest section ("describe",
-/// "emit", "run"); stats/quit are header-only.
+/// "emit", "run", "lint"); stats/quit are header-only.
 bool verb_has_nest(const std::string& verb);
 
 /// Read one request.  Returns false on a clean end-of-stream before a

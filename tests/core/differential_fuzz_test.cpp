@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "../test_util.hpp"
+#include "analysis/nest_analyzer.hpp"
 
 namespace nrc {
 namespace {
@@ -51,6 +52,7 @@ struct FuzzTally {
   i64 rejected_empty = 0;
   i64 quartic_domains = 0;
   i64 search_levels = 0;  // Search/overflow-demoted level solves
+  i64 certified_exact = 0;  // domains the analyzer certified f64-exact
   RecoveryStats stats;
 };
 
@@ -181,10 +183,10 @@ void run_case(const FuzzNest& fc, FuzzTally* tally) {
   CollapseOptions opts;
   opts.calibration = fc.calibration;
   if (fc.expect_empty) {
+    ParamMap p = fc.fixed_params;
+    p["N"] = 2;
     bool rejected = false;
     try {
-      ParamMap p = fc.fixed_params;
-      p["N"] = 2;
       collapse(fc.nest, opts).bind(p);
     } catch (const SpecError&) {
       rejected = true;
@@ -192,6 +194,12 @@ void run_case(const FuzzNest& fc, FuzzTally* tally) {
       rejected = true;
     }
     ASSERT_TRUE(rejected) << fc.repro() << "empty domain was not rejected";
+    // Certificate leg: the analyzer must refuse what bind() refuses —
+    // without throwing, and at error severity.
+    const NestCertificate cert = analyze_nest(fc.nest, p, opts);
+    EXPECT_FALSE(cert.bind_ok) << fc.repro() << "analyzer certified a rejected domain";
+    EXPECT_EQ(cert.max_severity(), LintSeverity::Error)
+        << fc.repro() << "rejected domain lints below error severity:\n" << cert.str();
     ++tally->domains;
     ++tally->rejected_empty;
     return;
@@ -202,8 +210,44 @@ void run_case(const FuzzNest& fc, FuzzTally* tally) {
       ParamMap p = fc.fixed_params;
       p["N"] = nv;
       const CollapsedEval cn = col.bind(p);
-      check_domain(cn, fc.repro() + "\nN=" + std::to_string(nv) + "\n", tally);
+      const std::string repro = fc.repro() + "\nN=" + std::to_string(nv) + "\n";
+
+      // Certificate leg: analyze the same (nest, params, options)
+      // triple and cross-validate every claim against what this domain
+      // actually does.  A certificate is a promise — any disagreement
+      // here is an analyzer soundness bug, not noise.
+      const NestCertificate cert = analyze_nest(fc.nest, p, opts);
+      ASSERT_TRUE(cert.bind_ok) << repro << "bind succeeded but the analyzer says not:\n"
+                                << cert.str();
+      ASSERT_EQ(cert.total_trip, cn.trip_count())
+          << repro << "certificate trip count disagrees with bind";
+      if (cert.trip_i64_safe && cn.trip_count() <= 400) {
+        // Odometer cross-check of the i64-safe claim: walk the domain
+        // point by point and count (full sweep domains only; the wide
+        // ones are covered by the strided recover-vs-search loop).
+        std::vector<i64> idx(static_cast<size_t>(cn.depth()));
+        cn.first(idx);
+        i64 count = 1;
+        while (cn.increment(idx)) ++count;
+        ASSERT_EQ(count, cert.total_trip)
+            << repro << "certified i64-safe trip count disagrees with the odometer";
+      }
+
+      const RecoveryStats before = tally->stats;
+      check_domain(cn, repro, tally);
       if (::testing::Test::HasFatalFailure()) return;
+      if (cert.exact_f64) {
+        // Certified f64-exact: every recovery the sweep performed must
+        // have stayed on the closed-form path — zero search fallbacks,
+        // zero quartic demotions (the acceptance bar: no false "exact"
+        // certificates, ever).
+        ASSERT_EQ(tally->stats.fallback, before.fallback)
+            << repro << "certified f64-exact but a recovery fell back to search:\n"
+            << cert.str();
+        ASSERT_EQ(tally->stats.quartic_demoted, before.quartic_demoted)
+            << repro << "certified f64-exact but a quartic demoted:\n" << cert.str();
+        ++tally->certified_exact;
+      }
       ++tally->domains;
     }
   } catch (const std::exception& ex) {
@@ -220,11 +264,12 @@ void run_fuzz(FuzzClass cls, i64 domains_target, u64 seed_base) {
   }
   tally.search_levels = tally.stats.fallback;
   std::printf(
-      "[fuzz %-10s] domains=%lld (empty=%lld, quartic=%lld) levels: closed=%lld "
-      "corrected=%lld search=%lld quartic_demoted=%lld\n",
+      "[fuzz %-10s] domains=%lld (empty=%lld, quartic=%lld, certified_exact=%lld) "
+      "levels: closed=%lld corrected=%lld search=%lld quartic_demoted=%lld\n",
       testutil::fuzz_class_name(cls), static_cast<long long>(tally.domains),
       static_cast<long long>(tally.rejected_empty),
       static_cast<long long>(tally.quartic_domains),
+      static_cast<long long>(tally.certified_exact),
       static_cast<long long>(tally.stats.closed_form),
       static_cast<long long>(tally.stats.corrected),
       static_cast<long long>(tally.stats.fallback),
@@ -232,6 +277,11 @@ void run_fuzz(FuzzClass cls, i64 domains_target, u64 seed_base) {
   // The sweep must actually exercise the engine, not degenerate into
   // vacuous domains: every class recovers through closed forms somewhere.
   EXPECT_GT(tally.stats.closed_form, 0);
+  // ... and the certificate leg must not be vacuous either: the
+  // analyzer certifies a healthy share of every class's domains (were
+  // exact_f64 to regress to constant-false, the cross-validation above
+  // would pass trivially).
+  EXPECT_GT(tally.certified_exact, 0) << "analyzer certified nothing in this class";
 }
 
 // ------------------------------------------------- fast deterministic slice

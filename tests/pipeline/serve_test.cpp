@@ -151,6 +151,42 @@ TEST(ServeHandle, RunRefusesDomainsOverTheServingLimit) {
       serve::handle_request(cache, make_req("describe", {{"N", 100}}, kTriCFor), limits).ok);
 }
 
+TEST(ServeHandle, LintReportsCertificateAndServeLimit) {
+  PlanCache cache(16, 2);
+  serve::ServeLimits limits;
+  limits.max_run_trip = 100;
+
+  // Over the run limit: lint stays ok and reports NRC-W005 instead of
+  // refusing the way run does.
+  const serve::Response over =
+      serve::handle_request(cache, make_req("lint", {{"N", 100}}, kTriCFor), limits);
+  ASSERT_TRUE(over.ok) << over.payload;
+  EXPECT_NE(over.payload.find("certificates: trip-i64 yes"), std::string::npos)
+      << over.payload;
+  EXPECT_NE(over.payload.find("NRC-W005"), std::string::npos) << over.payload;
+
+  // Under the limit: a clean certificate, no W005.
+  const serve::Response small =
+      serve::handle_request(cache, make_req("lint", {{"N", 10}}, kTriCFor), limits);
+  ASSERT_TRUE(small.ok);
+  EXPECT_NE(small.payload.find("lint: clean"), std::string::npos) << small.payload;
+
+  // Bind failures come back as diagnostics, not an err response, and
+  // lint bypasses the cache (no entry churned by the failing domain).
+  const size_t before = cache.size();
+  const serve::Response unbound =
+      serve::handle_request(cache, make_req("lint", {}, kTriCFor), limits);
+  ASSERT_TRUE(unbound.ok);
+  EXPECT_NE(unbound.payload.find("NRC-E001"), std::string::npos) << unbound.payload;
+  EXPECT_EQ(cache.size(), before);
+
+  // The run refusal names the lint verb as the non-refusing alternative.
+  const serve::Response refused =
+      serve::handle_request(cache, make_req("run", {{"N", 100}}, kTriCFor), limits);
+  ASSERT_FALSE(refused.ok);
+  EXPECT_NE(refused.payload.find("NRC-W005"), std::string::npos) << refused.payload;
+}
+
 TEST(ServeHandle, ErrorsBecomeErrResponsesNotExceptions) {
   PlanCache cache(16, 2);
   const serve::Response unknown = serve::handle_request(cache, make_req("frobnicate", {}));
