@@ -42,7 +42,11 @@
 // analyze-once contract: repeated domains must skip symbolic build and
 // bind entirely), or when the measured cost model picks a schedule more
 // than 2x slower than the measured-best candidate on a gated nest (the
-// selection-accuracy floor).
+// selection-accuracy floor), or when the runtime-compiled specialized
+// kernel (jit column: one-thread ns/iter, with its one-time compile as
+// jit_compile_ms) falls below 1.5x over the engine on the cubic/quartic
+// nests while a C toolchain is available (no toolchain skips the floor
+// with a note).
 //
 // The measured rows double as cost-model calibration:
 // --cost-table=PATH (or NRC_COST_TABLE_OUT) persists them as an
@@ -162,6 +166,10 @@ int main(int argc, char** argv) {
     double qblock = 0;  ///< block64 through the PR 2 quartic path (bytecode
                         ///< program + checked-i128 scalar guards); 0 when the
                         ///< nest has no quartic level
+    double jit = 0;             ///< ns/iter through the compiled specialized
+                                ///< kernel (single thread; 0 when not compiled)
+    double jit_compile_ms = 0;  ///< one cold out-of-process specialize+compile
+    bool jit_compiled = false;
     bool gate = false, gate_simd = false, gate_quartic = false;
   };
   std::vector<Row> rows;
@@ -301,6 +309,31 @@ int main(int argc, char** argv) {
         sink += idx[0];
       }
     });
+    // JIT leg: one cold specialized build (the amortized entry fee,
+    // reported as jit[c] ms), then the compiled kernel's end-to-end
+    // ns/iter with a trivial body.  Measured on one thread so the
+    // jit-vs-engine ratio isolates what the specialization buys
+    // (folded coefficients/guards + chunk-amortized recovery), not
+    // parallel speedup; the compiled kernel runs on the ambient OpenMP
+    // team, so the team is pinned to 1 for the measurement.
+    {
+      const auto plan = CollapsePlan::build(bn.nest, bn.params);
+      JitOptions jopt;
+      jopt.use_disk_cache = false;
+      const auto kernel = JitKernel::build(plan, Schedule::chunked(64), jopt);
+      row.jit_compiled = kernel->compiled();
+      row.jit_compile_ms = static_cast<double>(kernel->info().compile_ns) / 1e6;
+      if (kernel->compiled()) {
+        const int ambient = omp_get_max_threads();
+        omp_set_num_threads(1);
+        row.jit = time_ns_per(cn.trip_count(), trials, [&] {
+          i64 slot = 0;
+          kernel->run([&](std::span<const i64> t) { slot += t[0]; });
+          sink += slot;
+        });
+        omp_set_num_threads(ambient);
+      }
+    }
     g_sink = g_sink + sink;
     rows.push_back(row);
     evals.push_back(cn);
@@ -320,6 +353,8 @@ int main(int argc, char** argv) {
     e.block_ns = rows[i].block;
     e.simd4_ns = rows[i].simd;
     e.simd8_ns = rows[i].simd8;
+    e.jit_ns = rows[i].jit;
+    e.jit_compile_ms = rows[i].jit_compile_ms;
     table.add(e);
   }
   if (!args.cost_table.empty()) {
@@ -394,30 +429,45 @@ int main(int argc, char** argv) {
       "== recovery_ns: ns per recovered iteration (best of %d trials, "
       "simd_abi=%s, compiled=%s, %d-lane groups) ==\n\n",
       trials, run_abi.c_str(), simd::abi_name(), simd::kGroupLanes);
-  std::printf("%-13s %5s %11s | %11s %11s %11s %11s %11s %11s %11s %11s %11s | %10s %10s | %8s %8s %8s %8s %8s\n",
+  std::printf("%-13s %5s %11s | %11s %11s %11s %11s %11s %11s %11s %11s %11s %8s %8s | %10s %10s | %8s %8s %8s %8s %8s %8s\n",
               "nest", "depth", "trip", "interp[ns]", "engine[ns]", "block64", "simd64",
               "simd512", "batch4[ns]", "search[ns]", "newton[ns]", "qblock64",
+              "jit[ns]", "jitc[ms]",
               "bind-cold", "bind-hit", "eng-spdup", "simd-spdup", "s512spdup",
-              "q-spdup", "bindspdup");
-  bench::rule(210);
+              "q-spdup", "jit-spdup", "bindspdup");
+  bench::rule(230);
+  const bool jit_toolchain = jit::toolchain_available();
   bool gate_ok = true;
   bool simd_ok = true;
   bool simd512_ok = true;
   bool quartic_ok = true;
   bool bind_ok = true;
+  bool jit_ok = true;
   for (const Row& r : rows) {
     const double speedup = r.interp / r.engine;
     const double simd_speedup = r.block / r.simd;
     const double simd8_speedup = r.block / r.simd8;
     const double q_speedup = r.qblock > 0 ? r.qblock / r.block : 0.0;
+    const double jit_speedup = r.jit > 0 ? r.engine / r.jit : 0.0;
     const double bind_speedup = r.bind_cached > 0 ? r.bind_cold / r.bind_cached : 0.0;
     std::printf(
-        "%-13s %5d %11lld | %11.1f %11.1f %11.2f %11.2f %11.2f %11.1f %11.1f %11.1f %11.2f | "
-        "%10.0f %10.0f | %7.2fx %7.2fx %7.2fx %7.2fx %7.1fx\n",
+        "%-13s %5d %11lld | %11.1f %11.1f %11.2f %11.2f %11.2f %11.1f %11.1f %11.1f %11.2f %8.2f %8.1f | "
+        "%10.0f %10.0f | %7.2fx %7.2fx %7.2fx %7.2fx %7.1fx %7.1fx\n",
         r.name.c_str(), r.depth, static_cast<long long>(r.trip), r.interp, r.engine,
-        r.block, r.simd, r.simd8, r.batch4, r.search, r.newton, r.qblock, r.bind_cold,
-        r.bind_cached, speedup, simd_speedup, simd8_speedup, q_speedup, bind_speedup);
+        r.block, r.simd, r.simd8, r.batch4, r.search, r.newton, r.qblock, r.jit,
+        r.jit_compile_ms, r.bind_cold,
+        r.bind_cached, speedup, simd_speedup, simd8_speedup, q_speedup, jit_speedup,
+        bind_speedup);
     if (r.gate && speedup < 2.5) gate_ok = false;
+    // The JIT floor covers the cubic and quartic nests — the deep
+    // recoveries where folding coefficients, guards and branch numbers
+    // to literals pays most.  With a toolchain present, a kernel that
+    // failed to compile on a gated nest is itself a failure; without
+    // one the floor is skipped (the no-toolchain CI leg covers that
+    // configuration's correctness).
+    if ((r.gate_simd || r.gate_quartic) && jit_toolchain) {
+      if (!r.jit_compiled || jit_speedup < 1.5) jit_ok = false;
+    }
     // The simd64 floor was 2x against PR 2's scalar block path; PR 3's
     // scalar engine adopted the proven-f64 guards and the Ferrari, making
     // block64 itself 2-3x faster, so the lane path's remaining amortized
@@ -433,7 +483,7 @@ int main(int argc, char** argv) {
     // cheaper than the cold collapse+bind it replaces.
     if (bind_speedup < 10.0) bind_ok = false;
   }
-  bench::rule(210);
+  bench::rule(230);
   std::printf(
       "eng-spdup = interpreter / engine (full closed-form recovery).  block64 is\n"
       "recover_block amortized over 64 consecutive pcs — the per-iteration cost the\n"
@@ -448,7 +498,10 @@ int main(int argc, char** argv) {
       "Ferrari's enforced >= 2.5x floor on the quartic nests.  bind-cold is ns per\n"
       "cold CollapsePlan::build (collapse+bind), bind-hit ns per plan_cache().get\n"
       "hit on the same key; bindspdup = bind-cold / bind-hit, enforced >= 10x on\n"
-      "every nest.\n");
+      "every nest.  jit[ns] is the runtime-compiled specialized kernel's ns per\n"
+      "iteration on one thread (jitc[ms] its one-time out-of-process compile);\n"
+      "jit-spdup = engine / jit, enforced >= 1.5x on the cubic/quartic nests when\n"
+      "a C toolchain is available.\n");
 
   std::printf(
       "\n== selection accuracy: auto_select vs measured-best candidate "
@@ -490,15 +543,19 @@ int main(int argc, char** argv) {
                    "    {\"name\": \"%s\", \"depth\": %d, \"trip_count\": %lld, "
                    "\"lane_width\": %d, "
                    "\"gate\": %s, \"gate_simd\": %s, \"gate_quartic\": %s, "
+                   "\"gate_jit\": %s, "
                    "\"schemes\": {\"interpreter\": %.2f, \"engine\": %.2f, "
                    "\"block64\": %.3f, \"simd64\": %.3f, \"simd512\": %.3f, "
                    "\"batch4\": %.2f, "
-                   "\"search\": %.2f, \"newton\": %.2f, \"quartic_block64\": %.3f}, "
+                   "\"search\": %.2f, \"newton\": %.2f, \"quartic_block64\": %.3f, "
+                   "\"jit\": %.3f}, "
+                   "\"jit_compile_ms\": %.2f, "
                    "\"bind\": {\"cold_ns\": %.1f, \"cached_ns\": %.1f}, "
                    "\"speedup_engine_vs_interpreter\": %.3f, "
                    "\"speedup_simd64_vs_block64\": %.3f, "
                    "\"speedup_simd512_vs_block64\": %.3f, "
                    "\"speedup_ferrari_vs_bytecode\": %.3f, "
+                   "\"speedup_jit_vs_engine\": %.3f, "
                    "\"speedup_bind_cached_vs_cold\": %.2f, "
                    "\"selection\": {\"chosen\": \"%s\", "
                    "\"from_cost_model\": %s, \"predicted_ns_per_iter\": %.3f, "
@@ -508,10 +565,13 @@ int main(int argc, char** argv) {
                    simd::kGroupLanes,
                    r.gate ? "true" : "false", r.gate_simd ? "true" : "false",
                    r.gate_quartic ? "true" : "false",
+                   (r.gate_simd || r.gate_quartic) && jit_toolchain ? "true" : "false",
                    r.interp, r.engine, r.block, r.simd, r.simd8, r.batch4, r.search,
-                   r.newton, r.qblock, r.bind_cold, r.bind_cached, r.interp / r.engine,
+                   r.newton, r.qblock, r.jit, r.jit_compile_ms, r.bind_cold,
+                   r.bind_cached, r.interp / r.engine,
                    r.block / r.simd, r.block / r.simd8,
                    r.qblock > 0 ? r.qblock / r.block : 0.0,
+                   r.jit > 0 ? r.engine / r.jit : 0.0,
                    r.bind_cached > 0 ? r.bind_cold / r.bind_cached : 0.0,
                    sels[i].chosen.c_str(), sels[i].from_cost_model ? "true" : "false",
                    sels[i].predicted, sels[i].measured, sels[i].best.c_str(),
@@ -548,6 +608,14 @@ int main(int argc, char** argv) {
         "path on a quartic nest\n");
     rc = 1;
   }
+  if (!jit_ok) {
+    std::printf(
+        "FAIL: jit kernel below the enforced 1.5x floor over the engine (or failed "
+        "to compile) on a cubic/quartic nest with a C toolchain available\n");
+    rc = 1;
+  }
+  if (!jit_toolchain)
+    std::printf("note: no C toolchain; jit column is 0 and its floor is skipped\n");
   if (!bind_ok) {
     std::printf(
         "FAIL: plan-cache hit below the enforced 10x floor over a cold "

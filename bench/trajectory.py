@@ -35,6 +35,8 @@ QUARTIC_FLOOR = 2.5     # enforced ferrari-vs-bytecode floor (quartic nests)
 BIND_FLOOR = 10.0       # enforced plan-cache-hit vs cold collapse+bind floor
 SELECT_CEIL = 2.0       # enforced auto_select-vs-measured-best ratio ceiling
                         # (cost-model picks on gated nests only)
+JIT_FLOOR = 1.5         # enforced jit-kernel-vs-engine floor (specialized
+                        # compiled kernel on gated nests, toolchain runs only)
 
 
 def load_json(path, default):
@@ -92,9 +94,13 @@ def main():
             "speedup_simd512": nest.get("speedup_simd512_vs_block64"),
             "speedup_quartic": nest.get("speedup_ferrari_vs_bytecode"),
             "speedup_bind": nest.get("speedup_bind_cached_vs_cold"),
+            "jit": schemes.get("jit"),
+            "jit_compile_ms": nest.get("jit_compile_ms"),
+            "speedup_jit": nest.get("speedup_jit_vs_engine"),
             "gate": bool(nest.get("gate", False)),
             "gate_simd": bool(nest.get("gate_simd", False)),
             "gate_quartic": bool(nest.get("gate_quartic", False)),
+            "gate_jit": bool(nest.get("gate_jit", False)),
         }
         sel = nest.get("selection")
         if sel:
@@ -130,6 +136,14 @@ def main():
             "contended_over_uncontended": slo.get("contended_over_uncontended"),
             "slo_ok": bool(slo.get("ok", False)),
         }
+        sj = serving.get("jit")
+        if sj and sj.get("available"):
+            entry["serving"]["jit"] = {
+                "compile_ms": sj.get("compile_ms"),
+                "warm_hit_p50_ns": sj.get("warm_hit_p50_ns"),
+                "warm_hit_p99_ns": sj.get("warm_hit_p99_ns"),
+                "disk_restart_ms": sj.get("disk_restart_ms"),
+            }
 
     runs.append(entry)
     runs = runs[-MAX_RUNS:]
@@ -160,16 +174,18 @@ def main():
         f"simd512 ≥{SIMD512_FLOOR}x vs block64 on avx512 runs, "
         f"ferrari ≥{QUARTIC_FLOOR}x vs the PR 2 bytecode path on quartic "
         f"nests, plan-cache bind hit ≥{BIND_FLOOR:.0f}x vs a cold "
-        "collapse+bind on every nest, and auto_select cost-model picks "
-        f"≤{SELECT_CEIL:.0f}x the measured-best candidate on gated nests; "
-        "enforced by bench_recovery_ns).",
+        "collapse+bind on every nest, auto_select cost-model picks "
+        f"≤{SELECT_CEIL:.0f}x the measured-best candidate on gated nests, "
+        f"and the jit-compiled kernel ≥{JIT_FLOOR}x vs engine on gated "
+        "nests when a C toolchain is present; enforced by "
+        "bench_recovery_ns).",
         "",
         "| run | sha | abi | "
         + " | ".join(f"{n} eng | {n} simd4 | {n} simd8 | {n} q4 | {n} bind "
-                     f"| {n} sel"
+                     f"| {n} sel | {n} jit"
                      for n in nest_names)
         + " |",
-        "|" + "---|" * (3 + 6 * len(nest_names)),
+        "|" + "---|" * (3 + 7 * len(nest_names)),
     ]
     for r in runs[-MD_ROWS:]:
         cells = [str(r.get("run", "?")), str(r.get("sha", "?")),
@@ -206,6 +222,12 @@ def main():
                                  + (" ✓" if ratio <= SELECT_CEIL else " ✗"))
                 else:
                     cells.append(f"{ratio:.2f}x")
+            # JIT kernel speedup vs engine.  The floor is enforced only
+            # on gated nests and only when that run had a C toolchain
+            # (gate_jit already folds toolchain availability in).
+            j = d.get("speedup_jit")
+            cells.append(fmt(j if j else None,
+                             JIT_FLOOR if d.get("gate_jit") else None))
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
     latest = runs[-1]["nests"]
@@ -213,7 +235,10 @@ def main():
         "Latest absolute ns/iteration: "
         + "; ".join(
             f"{n}: engine {d.get('engine')}, block64 {d.get('block64')}, "
-            f"simd64 {d.get('simd64')}, simd512 {d.get('simd512')}"
+            f"simd64 {d.get('simd64')}, simd512 {d.get('simd512')}, "
+            f"jit {d.get('jit')}"
+            + (f" (compile {d['jit_compile_ms']:.0f} ms)"
+               if d.get("jit_compile_ms") else "")
             for n, d in latest.items()
         )
         + "."
@@ -276,9 +301,15 @@ def main():
             "on the same shard must stay within 10x of the uncontended hit "
             "p99 (enforced by the bench's exit status; ✗ marks a violation).",
             "",
+            "The jit columns track the kernel-serving steady state: "
+            "warm KernelCache hit p99 and the restart path through the "
+            "on-disk object cache (— on runs without a C toolchain; "
+            "reported, not gated).",
+            "",
             "| run | sha | req/s | req p99 µs | hit rate | hit p99 unc µs "
-            "| hit p99 cont µs | cont/unc |",
-            "|" + "---|" * 8,
+            "| hit p99 cont µs | cont/unc | jit warm p99 µs "
+            "| jit restart ms |",
+            "|" + "---|" * 10,
         ]
         for r in runs[-MD_ROWS:]:
             s = r.get("serving")
@@ -301,6 +332,9 @@ def main():
                     us(s.get("p99_hit_contended_ns")),
                     ("—" if ratio is None else f"{ratio:.2f}x")
                     + (" ✓" if s.get("slo_ok") else " ✗"),
+                    us(s.get("jit", {}).get("warm_hit_p99_ns")),
+                    ("—" if s.get("jit", {}).get("disk_restart_ms") is None
+                     else f"{s['jit']['disk_restart_ms']:.2f}"),
                 ]) + " |")
 
     with open(args.out_md, "w", encoding="utf-8") as f:

@@ -1,0 +1,164 @@
+#include "jit/toolchain.hpp"
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace nrc::jit {
+
+OwnedPath& OwnedPath::operator=(OwnedPath&& o) noexcept {
+  if (this != &o) {
+    reset();
+    path_ = std::move(o.path_);
+    o.path_.clear();
+  }
+  return *this;
+}
+
+OwnedPath::~OwnedPath() { reset(); }
+
+std::string OwnedPath::release() {
+  std::string p = std::move(path_);
+  path_.clear();
+  return p;
+}
+
+void OwnedPath::reset() {
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+OwnedPath make_temp_file(const std::string& suffix) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string templ = (tmp && *tmp ? std::string(tmp) : std::string("/tmp"));
+  templ += "/nrc_jit_XXXXXX" + suffix;
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemps(buf.data(), static_cast<int>(suffix.size()));
+  if (fd < 0) throw SpecError("jit: mkstemps failed for '" + templ + "'");
+  ::close(fd);
+  return OwnedPath(std::string(buf.data()));
+}
+
+std::string resolve_compiler() {
+  if (const char* cc = std::getenv("NRC_JIT_CC"); cc && *cc) return cc;
+  if (const char* cc = std::getenv("CC"); cc && *cc) return cc;
+  return "cc";
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string s;
+  char buf[4096];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
+    s.append(buf, static_cast<size_t>(in.gcount()));
+  return s;
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+/// Run one compile command with stderr captured to a temp log.
+/// Returns {exit-ok, log-text}.
+std::pair<bool, std::string> run_compile(const std::string& cmd) {
+  OwnedPath log = make_temp_file(".log");
+  const std::string full = cmd + " 2>" + log.path();
+  const int rc = std::system(full.c_str());
+  return {rc == 0, read_file(log.path())};
+}
+
+/// Probe caches.  A probe is a real out-of-process compile, so each
+/// distinct compiler string is probed at most once per process; the
+/// mutex only guards the maps (the probe itself runs outside locks at
+/// worst twice on a race, which is harmless).
+std::mutex g_probe_mu;
+std::map<std::string, bool>& works_cache() {
+  static std::map<std::string, bool> m;
+  return m;
+}
+std::map<std::string, std::string>& omp_cache() {
+  static std::map<std::string, std::string> m;
+  return m;
+}
+
+bool probe_works(const std::string& cc) {
+  OwnedPath src = make_temp_file(".c");
+  OwnedPath bin = make_temp_file(".bin");
+  if (!write_file(src.path(), "int main(void) { return 0; }\n")) return false;
+  auto [ok, log] = run_compile(cc + " -o " + bin.path() + " " + src.path());
+  (void)log;
+  return ok;
+}
+
+std::string probe_openmp(const std::string& cc) {
+  OwnedPath src = make_temp_file(".c");
+  OwnedPath bin = make_temp_file(".bin");
+  if (!write_file(src.path(),
+                  "#include <omp.h>\n"
+                  "int main(void) { return omp_get_max_threads() > 0 ? 0 : 1; }\n"))
+    return "";
+  auto [ok, log] =
+      run_compile(cc + " -fopenmp -o " + bin.path() + " " + src.path());
+  (void)log;
+  return ok ? "-fopenmp" : "";
+}
+
+}  // namespace
+
+bool compiler_works(const std::string& cc) {
+  {
+    std::lock_guard<std::mutex> lk(g_probe_mu);
+    if (auto it = works_cache().find(cc); it != works_cache().end()) return it->second;
+  }
+  const bool ok = probe_works(cc);
+  std::lock_guard<std::mutex> lk(g_probe_mu);
+  return works_cache().emplace(cc, ok).first->second;
+}
+
+std::string openmp_flag(const std::string& cc) {
+  {
+    std::lock_guard<std::mutex> lk(g_probe_mu);
+    if (auto it = omp_cache().find(cc); it != omp_cache().end()) return it->second;
+  }
+  const std::string flag = compiler_works(cc) ? probe_openmp(cc) : "";
+  std::lock_guard<std::mutex> lk(g_probe_mu);
+  return omp_cache().emplace(cc, flag).first->second;
+}
+
+CompileResult compile_c(const std::string& source, const std::vector<std::string>& flags,
+                        const std::string& out_suffix) {
+  CompileResult r;
+  r.compiler = resolve_compiler();
+  OwnedPath src = make_temp_file(".c");
+  OwnedPath out = make_temp_file(out_suffix);
+  if (!write_file(src.path(), source)) {
+    r.log = "jit: cannot write temp source '" + src.path() + "'";
+    return r;
+  }
+  std::string cmd = r.compiler;
+  for (const std::string& f : flags) cmd += " " + f;
+  cmd += " -o " + out.path() + " " + src.path() + " -lm";
+  const double t0 = omp_get_wtime();
+  auto [ok, log] = run_compile(cmd);
+  r.compile_ns = static_cast<i64>((omp_get_wtime() - t0) * 1e9);
+  r.log = std::move(log);
+  r.ok = ok;
+  if (ok) r.artifact = std::move(out);  // failure path: `out` unlinks itself
+  return r;
+}
+
+}  // namespace nrc::jit

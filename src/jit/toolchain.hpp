@@ -1,0 +1,94 @@
+#pragma once
+// Out-of-process C toolchain driver shared by the JIT (jit_kernel.cpp)
+// and the compile-and-run test legs (executor fuzzer, integration
+// compile tests).
+//
+// Historically each compile-and-run consumer shelled out to `cc` with
+// its own fixed file names under TempDir(), which leaked artifacts when
+// a fuzz compile died mid-run and hard-coded the compiler.  This module
+// centralizes the three concerns they share:
+//
+//   * compiler resolution — NRC_JIT_CC overrides CC overrides "cc",
+//     re-read from the environment on every call so tests can flip it;
+//   * capability probes — "does this compiler run at all" and "does it
+//     accept -fopenmp", each probed once per compiler string for the
+//     process lifetime (a probe is a real out-of-process compile);
+//   * mkstemp-based temp handling with deterministic cleanup — every
+//     intermediate (source, log, probe binaries) is an OwnedPath that
+//     unlinks itself on scope exit, so a failed compile leaves nothing
+//     behind; the produced artifact is handed to the caller as an
+//     OwnedPath too, tying its lifetime to the CompileResult.
+//
+// The driver is intentionally dumb about flags: callers pass exactly
+// the flag list they need ("-std=c99 -O2" for test binaries, "-O2
+// -shared -fPIC" for JIT objects) and the OpenMP flag only when the
+// probe says the compiler accepts it.
+
+#include <string>
+#include <vector>
+
+#include "support/int128.hpp"
+
+namespace nrc::jit {
+
+/// Move-only owner of one filesystem path: unlinks it on destruction
+/// unless release()d.  The unit of deterministic temp cleanup.
+class OwnedPath {
+ public:
+  OwnedPath() = default;
+  explicit OwnedPath(std::string p) : path_(std::move(p)) {}
+  OwnedPath(const OwnedPath&) = delete;
+  OwnedPath& operator=(const OwnedPath&) = delete;
+  OwnedPath(OwnedPath&& o) noexcept : path_(std::move(o.path_)) { o.path_.clear(); }
+  OwnedPath& operator=(OwnedPath&& o) noexcept;
+  ~OwnedPath();
+
+  const std::string& path() const { return path_; }
+  bool empty() const { return path_.empty(); }
+  /// Drop ownership: the file stays on disk, the path is returned.
+  std::string release();
+  /// Unlink now (idempotent).
+  void reset();
+
+ private:
+  std::string path_;
+};
+
+/// mkstemp a fresh file under $TMPDIR (default /tmp) with the given
+/// suffix, e.g. make_temp_file(".c").  Throws SpecError when the
+/// system refuses (no writable temp dir).
+OwnedPath make_temp_file(const std::string& suffix);
+
+/// The compiler command to use: $NRC_JIT_CC if set and non-empty, else
+/// $CC, else "cc".  Re-read from the environment on every call.
+std::string resolve_compiler();
+
+/// Does `cc` exist and run?  One real probe per distinct compiler
+/// string per process; the result is cached.
+bool compiler_works(const std::string& cc);
+
+/// The OpenMP flag `cc` accepts ("-fopenmp"), or "" when the probe
+/// compile fails.  Cached per compiler string like compiler_works().
+std::string openmp_flag(const std::string& cc);
+
+/// Convenience: is there any usable toolchain right now?
+inline bool toolchain_available() { return compiler_works(resolve_compiler()); }
+
+struct CompileResult {
+  bool ok = false;
+  OwnedPath artifact;    ///< the produced binary/object; unlinked when
+                         ///< the result goes out of scope
+  std::string log;       ///< compiler stderr (failure diagnostics)
+  std::string compiler;  ///< the resolved compiler that ran
+  i64 compile_ns = 0;    ///< wall-clock of the out-of-process compile
+};
+
+/// Write `source` to a temp .c file and compile it with the resolved
+/// compiler: `<cc> <flags...> -o <out> <src> -lm`.  `out_suffix` names
+/// the artifact's extension (".so", ".bin").  Never throws on compile
+/// failure — inspect result.ok / result.log; all intermediates are
+/// cleaned up on every path.
+CompileResult compile_c(const std::string& source, const std::vector<std::string>& flags,
+                        const std::string& out_suffix);
+
+}  // namespace nrc::jit

@@ -27,6 +27,9 @@
 #include "core/unrank_newton.hpp"
 #include "core/unrank_search.hpp"
 #include "core/validate.hpp"
+#include "jit/jit_kernel.hpp"
+#include "jit/kernel_cache.hpp"
+#include "jit/toolchain.hpp"
 #include "kernels/data.hpp"
 #include "kernels/registry.hpp"
 #include "math/faulhaber.hpp"

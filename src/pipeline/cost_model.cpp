@@ -99,13 +99,13 @@ const CostEntry* CostModel::lookup(SolverProfile profile, int depth) const {
 std::string CostModel::save_text() const {
   std::string s = "nrc-cost-table v1\n";
   s += "abi " + abi_ + "\n";
-  char buf[256];
+  char buf[320];
   for (const CostEntry& e : entries_) {
     std::snprintf(buf, sizeof(buf),
                   "entry profile=%s depth=%d lanes=%d engine=%.4f block=%.4f "
-                  "simd4=%.4f simd8=%.4f\n",
+                  "simd4=%.4f simd8=%.4f jit=%.4f jitc=%.4f\n",
                   solver_profile_name(e.profile), e.depth, e.lanes, e.engine_ns,
-                  e.block_ns, e.simd4_ns, e.simd8_ns);
+                  e.block_ns, e.simd4_ns, e.simd8_ns, e.jit_ns, e.jit_compile_ms);
     s += buf;
   }
   return s;
@@ -137,13 +137,15 @@ CostModel CostModel::parse_text(const std::string& text) {
     if (line.rfind("entry ", 0) == 0) {
       char prof[32] = {0};
       CostEntry e;
+      // The jit columns are optional so tables written before PR 10
+      // still load (they select as if no jit figure was measured).
       const int got = std::sscanf(
           line.c_str(),
           "entry profile=%31s depth=%d lanes=%d engine=%lf block=%lf "
-          "simd4=%lf simd8=%lf",
+          "simd4=%lf simd8=%lf jit=%lf jitc=%lf",
           prof, &e.depth, &e.lanes, &e.engine_ns, &e.block_ns, &e.simd4_ns,
-          &e.simd8_ns);
-      if (got != 7 || !profile_from_name(prof, &e.profile))
+          &e.simd8_ns, &e.jit_ns, &e.jit_compile_ms);
+      if ((got != 7 && got != 9) || !profile_from_name(prof, &e.profile))
         throw ParseError("cost table: malformed entry at line " +
                          std::to_string(lineno) + ": '" + line + "'");
       m.add(e);
@@ -346,6 +348,11 @@ double CostModel::estimate_ns_per_iter(const CostEntry& e, i64 total, const Sche
   return work / np + kForkJoinNs / T;
 }
 
+double CostModel::estimate_jit_ns_per_iter(const CostEntry& e, i64 total) {
+  const double T = static_cast<double>(std::max<i64>(total, 1));
+  return e.jit_ns + e.jit_compile_ms * 1e6 / T;
+}
+
 std::vector<Schedule> CostModel::candidate_schedules(const CostEntry* e, i64 total,
                                                      const AutoSelectHints& h, int nt) {
   RunConfig c{h.threads};
@@ -388,6 +395,18 @@ std::optional<CostModel::Selection> CostModel::select(const CollapsedEval& cn,
     }
   }
   if (!have) return std::nullopt;
+  // JIT column: recommend the compiled kernel when its measured
+  // per-iteration cost beats the best library schedule even with the
+  // compile amortized over a single full run of the domain.  The
+  // schedule selection stands either way — it is both the kernel's
+  // emission shape and the fallback path when no toolchain shows up.
+  if (e->jit_ns > 0) {
+    const double jns = estimate_jit_ns_per_iter(*e, total);
+    if (jns < best.ns_per_iter) {
+      best.jit = true;
+      best.jit_ns_per_iter = jns;
+    }
+  }
   return best;
 }
 

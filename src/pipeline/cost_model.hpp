@@ -64,6 +64,12 @@ struct CostEntry {
   double block_ns = 0;   ///< per-iteration scalar block walk (block64)
   double simd4_ns = 0;   ///< per-iteration 4-lane batched walk
   double simd8_ns = 0;   ///< per-iteration 8-lane batched walk
+  // JIT columns (PR 10), measured by bench_recovery_ns on machines
+  // with a toolchain; 0 = not measured, which keeps selection on the
+  // library schemes.  Tables written before these columns existed
+  // parse fine (the fields are optional in the v1 row format).
+  double jit_ns = 0;          ///< per-iteration cost through a compiled kernel
+  double jit_compile_ms = 0;  ///< one-time out-of-process compile cost
 };
 
 class CostModel {
@@ -119,10 +125,24 @@ class CostModel {
   /// ways for tail balance, clamped to a cache-friendly range.
   static i64 pick_tile(i64 total, int nt);
 
+  /// Amortized per-iteration cost of JIT-compiling then running the
+  /// whole domain once: the kernel's per-iteration cost plus the
+  /// compile paid across `total` iterations.  Callers that run a
+  /// domain repeatedly amortize further; this single-run figure is the
+  /// conservative bound selection uses.
+  static double estimate_jit_ns_per_iter(const CostEntry& e, i64 total);
+
   struct Selection {
     Schedule schedule;
     double ns_per_iter = 0;
     SolverProfile profile = SolverProfile::Division;
+    /// True when the entry's measured jit column beats every library
+    /// schedule even after amortizing the compile over one full run —
+    /// the signal auto_select/serve surface as a jit recommendation.
+    /// `schedule` stays the best library schedule either way (it is
+    /// both the jit kernel's emission shape and the fallback path).
+    bool jit = false;
+    double jit_ns_per_iter = 0;  ///< valid when jit is true
   };
   /// Minimum-estimated-cost schedule for the domain, or nullopt when
   /// this table cannot answer (empty, ABI mismatch with the running

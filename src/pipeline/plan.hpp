@@ -34,8 +34,9 @@
 namespace nrc {
 
 struct NestCertificate;
+class JitKernel;
 
-class CollapsePlan {
+class CollapsePlan : public std::enable_shared_from_this<CollapsePlan> {
  public:
   /// Run the pipeline end to end: collapse(nest, opts) + bind(params).
   /// Throws as collapse()/bind() throw (model violations, missing
@@ -59,6 +60,18 @@ class CollapsePlan {
   Schedule auto_schedule(const AutoSelectHints& hints = {}) const {
     return Schedule::auto_select(eval_, hints);
   }
+
+  /// This plan as a runtime-compiled specialized kernel, built (or
+  /// fetched) through the process-global KernelCache — the JIT front
+  /// door (jit/jit_kernel.hpp).  Never throws for toolchain or plan
+  /// reasons: when no compiler is available, the compile fails, or the
+  /// analyzer certificate is error-severity, the returned kernel is a
+  /// fallback whose run()/fill() route through the library dispatcher
+  /// (kernel->compiled() reports which).  Defined in
+  /// jit/kernel_cache.cpp.
+  std::shared_ptr<const JitKernel> jit(const Schedule& s) const;
+  /// jit(auto_schedule()).
+  std::shared_ptr<const JitKernel> jit() const;
 
   /// Static certificate for this plan: interval-propagated verdicts
   /// (trip-count i64 safety, proven-exact f64 recovery, emitted-C

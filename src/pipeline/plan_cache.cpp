@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "analysis/nest_analyzer.hpp"
+#include "jit/kernel_cache.hpp"
 #include "support/error.hpp"
 
 namespace nrc {
@@ -51,6 +52,28 @@ std::string CollapsePlan::describe() const {
     s += buf;
   } else {
     s += "cost estimate: heuristic (no cost table)\n";
+  }
+  // JIT state: a lock-only peek at the process-global kernel cache —
+  // describe() must never trigger a compile.  Deterministic between
+  // consecutive describes with no intervening jit activity, so it sits
+  // with the other reproducible lines above "plan cache:".
+  {
+    std::string jit_line = "jit: ";
+    if (auto kernel = kernel_cache().peek(*this, ch.schedule)) {
+      jit_line += kernel->compiled()
+                      ? (kernel->info().from_disk ? "kernel compiled (disk cache)"
+                                                  : "kernel compiled")
+                      : kernel->status();
+    } else {
+      jit_line += "not compiled (plan->jit() / the jitrun verb compile on demand)";
+    }
+    if (ch.jit_recommended) {
+      char jbuf[64];
+      std::snprintf(jbuf, sizeof(jbuf), "; recommended (%.2f ns/iter amortized)",
+                    ch.jit_ns_per_iter);
+      jit_line += jbuf;
+    }
+    s += jit_line + "\n";
   }
   // The static certificate: verdict summary plus one line per
   // diagnostic.  Deterministic for a given plan, so it sits above the

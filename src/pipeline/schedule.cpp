@@ -235,6 +235,8 @@ Schedule::Choice Schedule::auto_select_with_cost(const CollapsedEval& cn,
     ch.from_cost_model = true;
     ch.profile = std::string(solver_profile_name(sel->profile)) + "/d" +
                  std::to_string(cn.depth());
+    ch.jit_recommended = sel->jit;
+    ch.jit_ns_per_iter = sel->jit_ns_per_iter;
     return ch;
   }
 

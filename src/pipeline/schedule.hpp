@@ -163,6 +163,13 @@ struct Schedule::Choice {
   double est_ns_per_iter = -1.0;  ///< < 0: no cost-model estimate
   bool from_cost_model = false;   ///< table-driven vs heuristic fallback
   std::string profile;            ///< e.g. "quadratic/d2" when table-driven
+  /// The table's measured jit column beats every library schedule even
+  /// with the compile amortized over one full run — callers holding a
+  /// CollapsePlan should dispatch through plan->jit(schedule) (the
+  /// serve run verb does).  `schedule` stays the best library schedule
+  /// either way: it is the kernel's emission shape and the fallback.
+  bool jit_recommended = false;
+  double jit_ns_per_iter = -1.0;  ///< valid when jit_recommended
 };
 
 }  // namespace nrc

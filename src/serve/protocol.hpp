@@ -19,7 +19,18 @@
 //   emit      nest+params -> the collapsed nest as OpenMP C (the
 //             auto-selected schedule drives the emission style)
 //   run       nest+params -> execute through the dispatcher, reply with
-//             an order-insensitive checksum and the trip count
+//             an order-insensitive checksum and the trip count.  When a
+//             calibrated cost table recommends the JIT (amortized
+//             compile + per-iteration beats every library schedule),
+//             execution routes through the compiled kernel
+//             transparently — same checksum, same framing.
+//   jitrun    nest+params -> execute through the JIT-compiled
+//             specialized kernel (jit/jit_kernel.hpp) via the
+//             process-global KernelCache; replies with the run verb's
+//             checksum/trip lines plus a "jit <status>" line ("jit"
+//             when a compiled kernel ran, "fallback: <reason>" when
+//             the library dispatcher served the request — no
+//             toolchain, failed compile, error-severity certificate)
 //   lint      nest+params -> the static analyzer's certificate block
 //             (analysis/nest_analyzer.hpp): per-check verdicts plus
 //             structured diagnostics.  Never an err response for nests
@@ -28,7 +39,9 @@
 //             would refuse under ServeLimits is reported as NRC-W005.
 //             Bypasses the plan cache (a failing build never cycles an
 //             entry).
-//   stats     (no nest section) -> the cache's stats_line()
+//   stats     (no nest section) -> the plan cache's stats_line() plus
+//             the process-global kernel cache's jit line (hits, misses,
+//             compiles, disk hits, fallbacks, summed compile ns)
 //   quit      (no nest section) -> acknowledged; the server closes the
 //             connection
 //
@@ -75,7 +88,7 @@ struct Response {
 };
 
 /// True for verbs whose request carries a nest section ("describe",
-/// "emit", "run", "lint"); stats/quit are header-only.
+/// "emit", "run", "jitrun", "lint"); stats/quit are header-only.
 bool verb_has_nest(const std::string& verb);
 
 /// Read one request.  Returns false on a clean end-of-stream before a

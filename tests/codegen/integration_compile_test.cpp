@@ -14,35 +14,29 @@
 
 #include "codegen/c_emitter.hpp"
 #include "core/real_solvers.hpp"
+#include "jit/toolchain.hpp"
 #include "symbolic/print_c.hpp"
 
 namespace nrc {
 namespace {
 
-bool have_cc() { return std::system("cc --version > /dev/null 2>&1") == 0; }
+bool have_cc() { return jit::toolchain_available(); }
 
-/// Write, compile and run a generated program; returns the exit status.
+/// Write, compile and run a generated program through the shared
+/// toolchain driver (jit/toolchain.hpp — mkstemp temps, deterministic
+/// cleanup, NRC_JIT_CC / CC override); returns the exit status.
 int compile_and_run(const std::string& src, const std::string& tag,
                     const std::string& args) {
-  const std::string dir = ::testing::TempDir();
-  const std::string c_path = dir + "/nrc_" + tag + ".c";
-  const std::string bin_path = dir + "/nrc_" + tag + ".bin";
-  {
-    std::ofstream out(c_path);
-    out << src;
-  }
-  const std::string compile =
-      "cc -std=c99 -O2 -fopenmp -o " + bin_path + " " + c_path + " -lm 2>" + dir +
-      "/nrc_" + tag + ".cc.log";
-  if (std::system(compile.c_str()) != 0) {
-    std::ifstream log(dir + "/nrc_" + tag + ".cc.log");
-    std::string line;
-    std::string all;
-    while (std::getline(log, line)) all += line + "\n";
-    ADD_FAILURE() << "compilation failed:\n" << all << "\nsource:\n" << src;
+  std::vector<std::string> flags = {"-std=c99", "-O2"};
+  const std::string omp = jit::openmp_flag(jit::resolve_compiler());
+  if (!omp.empty()) flags.push_back(omp);
+  const jit::CompileResult res = jit::compile_c(src, flags, ".bin");
+  if (!res.ok) {
+    ADD_FAILURE() << "compilation failed (" << tag << ", " << res.compiler << "):\n"
+                  << res.log << "\nsource:\n" << src;
     return -1;
   }
-  return std::system((bin_path + " " + args + " > /dev/null").c_str());
+  return std::system((res.artifact.path() + " " + args + " > /dev/null").c_str());
 }
 
 class IntegrationCompile : public ::testing::Test {
@@ -291,21 +285,11 @@ TEST_F(IntegrationCompile, EmittedRealSolversByteIdenticalOn12BranchFamilies) {
   src += "    }\n";
   src += "  return 0;\n}\n";
 
-  const std::string dir = ::testing::TempDir();
-  const std::string c_path = dir + "/nrc_solver_bid.c";
-  const std::string bin_path = dir + "/nrc_solver_bid.bin";
-  const std::string out_path = dir + "/nrc_solver_bid.out";
-  {
-    std::ofstream out(c_path);
-    out << src;
-  }
-  ASSERT_EQ(std::system(("cc -std=c99 -O2 -o " + bin_path + " " + c_path + " -lm 2>" +
-                         dir + "/nrc_solver_bid.log")
-                            .c_str()),
-            0)
-      << src;
-  ASSERT_EQ(std::system((bin_path + " > " + out_path).c_str()), 0);
-  std::ifstream f(out_path);
+  const jit::CompileResult res = jit::compile_c(src, {"-std=c99", "-O2"}, ".bin");
+  ASSERT_TRUE(res.ok) << res.log << "\nsource:\n" << src;
+  const jit::OwnedPath out_path = jit::make_temp_file(".out");
+  ASSERT_EQ(std::system((res.artifact.path() + " > " + out_path.path()).c_str()), 0);
+  std::ifstream f(out_path.path());
   const std::string got{std::istreambuf_iterator<char>(f),
                         std::istreambuf_iterator<char>()};
   EXPECT_EQ(got, expect);

@@ -40,6 +40,7 @@
 
 #include "../test_util.hpp"
 #include "codegen/c_emitter.hpp"
+#include "jit/toolchain.hpp"
 #include "runtime/execute.hpp"
 #include "runtime/segments.hpp"
 #include "runtime/simd.hpp"
@@ -291,43 +292,35 @@ TEST(ExecutorFuzz, Degenerate) {
 // harness uses (testutil::tuple_mix transliterated into the emitted
 // body) so any thread interleaving must still visit the exact multiset.
 
-bool have_cc() {
-  static const bool ok = std::system("cc --version > /dev/null 2>&1") == 0;
-  return ok;
-}
+bool have_cc() { return jit::toolchain_available(); }
 
-/// Write and compile a generated program once (the emitted source does
-/// not depend on the parameter values — those arrive via argv, so one
-/// binary serves the whole bind sweep).  Returns the binary path, empty
-/// on compile failure (the compiler log lands in the failure message).
-std::string compile_program(const std::string& src, const std::string& tag) {
-  const std::string dir = ::testing::TempDir();
-  const std::string c_path = dir + "/nrc_xf_" + tag + ".c";
-  const std::string bin_path = dir + "/nrc_xf_" + tag + ".bin";
-  {
-    std::ofstream f(c_path);
-    f << src;
-  }
-  const std::string compile = "cc -std=c99 -O2 -fopenmp -o " + bin_path + " " + c_path +
-                              " -lm 2>" + dir + "/nrc_xf_" + tag + ".log";
-  if (std::system(compile.c_str()) != 0) {
-    std::ifstream log(dir + "/nrc_xf_" + tag + ".log");
-    std::string line, all;
-    while (std::getline(log, line)) all += line + "\n";
-    ADD_FAILURE() << "compilation failed:\n" << all << "\nsource:\n" << src;
-    return "";
-  }
-  return bin_path;
+/// Write and compile a generated program once through the shared
+/// toolchain driver (jit/toolchain.hpp): mkstemp temps with
+/// deterministic cleanup, NRC_JIT_CC / CC compiler override, OpenMP
+/// flag only when the probe accepts it.  The emitted source does not
+/// depend on the parameter values — those arrive via argv, so one
+/// binary serves the whole bind sweep.  result.ok is false on compile
+/// failure (the compiler log lands in the failure message); the binary
+/// is unlinked when the result goes out of scope.
+jit::CompileResult compile_program(const std::string& src, const std::string& tag) {
+  std::vector<std::string> flags = {"-std=c99", "-O2"};
+  const std::string omp = jit::openmp_flag(jit::resolve_compiler());
+  if (!omp.empty()) flags.push_back(omp);
+  jit::CompileResult res = jit::compile_c(src, flags, ".bin");
+  if (!res.ok)
+    ADD_FAILURE() << "compilation failed (" << tag << ", " << res.compiler << "):\n"
+                  << res.log << "\nsource:\n" << src;
+  return res;
 }
 
 /// Run a compiled round-trip binary, capturing stdout.
 bool run_capture(const std::string& bin_path, const std::string& args, std::string* out) {
-  const std::string out_path = bin_path + ".out";
-  if (std::system((bin_path + " " + args + " > " + out_path).c_str()) != 0) {
+  const jit::OwnedPath out_path = jit::make_temp_file(".out");
+  if (std::system((bin_path + " " + args + " > " + out_path.path()).c_str()) != 0) {
     ADD_FAILURE() << "generated program failed for args " << args;
     return false;
   }
-  std::ifstream f(out_path);
+  std::ifstream f(out_path.path());
   out->assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
   return true;
 }
@@ -456,14 +449,14 @@ int roundtrip_case(const FuzzNest& fc) {
       opt.parallel = false;
       prog.body = trace_body(fc.nest);
       const std::string src = roundtrip_program(prog, col, opt, /*checksum=*/false);
-      const std::string bin = compile_program(src, tag + "_" + sc.name);
-      if (bin.empty()) return emitted;
+      const jit::CompileResult bin = compile_program(src, tag + "_" + sc.name);
+      if (!bin.ok) return emitted;
       for (const i64 nv : testutil::fuzz_bind_values(fc)) {
         ParamMap pm = fc.fixed_params;
         pm["N"] = nv;
         const CollapsedEval cn = col.bind(pm);
         std::string got;
-        if (!run_capture(bin, bind_args(prog, pm), &got)) return emitted;
+        if (!run_capture(bin.artifact.path(), bind_args(prog, pm), &got)) return emitted;
         EXPECT_EQ(got, odometer_trace(cn))
             << fc.repro() << "codegen trace diverges, style=" << sc.name << " N=" << nv;
         ++emitted;
@@ -482,14 +475,14 @@ int roundtrip_case(const FuzzNest& fc) {
       opt.parallel = true;
       prog.body = checksum_body(fc.nest);
       const std::string src = roundtrip_program(prog, col, opt, /*checksum=*/true);
-      const std::string bin = compile_program(src, tag + "_" + sc.name);
-      if (bin.empty()) return emitted;
+      const jit::CompileResult bin = compile_program(src, tag + "_" + sc.name);
+      if (!bin.ok) return emitted;
       for (const i64 nv : testutil::fuzz_bind_values(fc)) {
         ParamMap pm = fc.fixed_params;
         pm["N"] = nv;
         const CollapsedEval cn = col.bind(pm);
         std::string got;
-        if (!run_capture(bin, bind_args(prog, pm), &got)) return emitted;
+        if (!run_capture(bin.artifact.path(), bind_args(prog, pm), &got)) return emitted;
         const DomainObservation ref = testutil::odometer_reference(cn, /*cap=*/0);
         EXPECT_EQ(got, std::to_string(ref.checksum) + "\n")
             << fc.repro() << "codegen checksum diverges, style=" << sc.name
